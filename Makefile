@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test race bench sweep examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper (EXPERIMENTS.md input).
+sweep:
+	$(GO) run ./cmd/sweep -all -class W | tee experiments_classW.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/datadist
+	$(GO) run ./examples/recordreplay
+	$(GO) run ./examples/numafuture
+	$(GO) run ./examples/replication
+
+clean:
+	$(GO) clean ./...

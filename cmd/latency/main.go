@@ -1,0 +1,22 @@
+// Command latency probes the simulated ccNUMA memory hierarchy and prints
+// the paper's Table 1: access latency to L1, L2, local memory and remote
+// memory at 1..3 hops.
+//
+// Usage:
+//
+//	latency
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"upmgo"
+)
+
+func main() {
+	if err := upmgo.WriteTable1(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "latency:", err)
+		os.Exit(1)
+	}
+}

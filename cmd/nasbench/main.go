@@ -1,0 +1,115 @@
+// Command nasbench runs one NAS benchmark reproduction on the simulated
+// Origin2000 under a chosen placement scheme and migration engine, and
+// prints the timing and migration statistics.
+//
+// Examples:
+//
+//	nasbench -bench BT -class W -placement wc -upm dist
+//	nasbench -bench SP -placement ft -upm recrep -iters 30
+//	nasbench -bench FT -class W -placement rand -kmig
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"upmgo"
+)
+
+func main() {
+	bench := flag.String("bench", "BT", "benchmark: BT, SP, CG, MG, FT or LU (extension)")
+	class := flag.String("class", "W", "problem class: S, W or A")
+	placement := flag.String("placement", "ft", "page placement: ft, rr, rand or wc")
+	kmigOn := flag.Bool("kmig", false, "enable the IRIX-style kernel migration engine")
+	upmMode := flag.String("upm", "off", "UPMlib mode: off, dist (data distribution) or recrep (record-replay)")
+	iters := flag.Int("iters", 0, "main-loop iterations (0 = class default)")
+	scale := flag.Int("scale", 1, "repeat each phase body N times (the paper's Figure 6 scaling)")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	threads := flag.Int("threads", 0, "team size (0 = all simulated CPUs)")
+	verbose := flag.Bool("v", false, "print per-iteration times")
+	flag.Parse()
+
+	cfg := upmgo.NASConfig{
+		Iterations:   *iters,
+		ComputeScale: *scale,
+		Seed:         *seed,
+		Threads:      *threads,
+		KernelMig:    *kmigOn,
+		SkipVerify:   *scale > 1,
+	}
+	switch strings.ToUpper(*class) {
+	case "S":
+		cfg.Class = upmgo.ClassS
+	case "W":
+		cfg.Class = upmgo.ClassW
+	case "A":
+		cfg.Class = upmgo.ClassA
+	default:
+		fatal("unknown class %q", *class)
+	}
+	switch *placement {
+	case "ft":
+		cfg.Placement = upmgo.FirstTouch
+	case "rr":
+		cfg.Placement = upmgo.RoundRobin
+	case "rand":
+		cfg.Placement = upmgo.Random
+	case "wc":
+		cfg.Placement = upmgo.WorstCase
+	default:
+		fatal("unknown placement %q", *placement)
+	}
+	switch *upmMode {
+	case "off":
+		cfg.UPM = upmgo.UPMOff
+	case "dist":
+		cfg.UPM = upmgo.UPMDistribute
+	case "recrep":
+		cfg.UPM = upmgo.UPMRecRep
+	default:
+		fatal("unknown upm mode %q", *upmMode)
+	}
+
+	r, err := upmgo.RunNAS(strings.ToUpper(*bench), cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("%s Class %s  %s  (%d threads)\n", r.Kernel, r.Class, r.Label, teamSize(cfg))
+	fmt.Printf("  main loop      %.4f virtual s over %d iterations\n", r.Seconds(), len(r.IterPS))
+	fmt.Printf("  cold start     %.4f virtual s\n", float64(r.ColdPS)/1e12)
+	fmt.Printf("  remote share   %.1f%% of memory accesses\n", 100*r.Mach.RemoteRatio())
+	fmt.Printf("  page faults    %d   kernel migrations %d\n", r.Mach.Faults, r.KmigMoves)
+	if cfg.UPM != upmgo.UPMOff {
+		fmt.Printf("  UPMlib         %d migrations (%d in the first invocation), %d replays, %d undos, %d frozen\n",
+			r.UPM.Migrations, r.UPM.FirstInvocation, r.UPM.ReplayMigrations, r.UPM.UndoMigrations, r.UPM.Frozen)
+		fmt.Printf("  UPMlib cost    %.4f virtual s on the critical path\n", float64(r.UPM.OverheadPS)/1e12)
+	}
+	if r.VerifyErr != nil {
+		fmt.Printf("  VERIFY FAILED  %v\n", r.VerifyErr)
+		os.Exit(1)
+	}
+	if r.Verified {
+		fmt.Printf("  verified       ok\n")
+	}
+	if *verbose {
+		for i, ps := range r.IterPS {
+			fmt.Printf("  iter %3d  %.6f s  (phase %.6f s)\n", i+1, float64(ps)/1e12, float64(r.PhasePS[i])/1e12)
+		}
+	}
+}
+
+func teamSize(cfg upmgo.NASConfig) int {
+	if cfg.Threads != 0 {
+		return cfg.Threads
+	}
+	mc := upmgo.DefaultMachineConfig()
+	cfg.Class.MachineTweak(&mc)
+	return mc.Nodes * mc.CPUsPerNode
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "nasbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,131 @@
+// Command pagemap runs a NAS benchmark and prints, after selected
+// iterations, where every hot page lives — a text heatmap of the data
+// distribution that page placement and the migration engines produce.
+// Each character is one page; its symbol is the node id (0-7) holding the
+// page, '*' marks pages with read replicas, '!' frozen pages.
+//
+// Example — watch UPMlib turn a worst-case placement into a block
+// distribution after the first iteration:
+//
+//	pagemap -bench BT -placement wc -upm dist
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"upmgo"
+	"upmgo/internal/exp"
+	"upmgo/internal/kmig"
+	"upmgo/internal/machine"
+	"upmgo/internal/nas"
+	"upmgo/internal/omp"
+	"upmgo/internal/upm"
+	"upmgo/internal/vm"
+)
+
+func main() {
+	bench := flag.String("bench", "BT", "benchmark: BT, SP, CG, MG, FT or LU (extension)")
+	placement := flag.String("placement", "wc", "page placement: ft, rr, rand or wc")
+	upmMode := flag.String("upm", "dist", "UPMlib mode: off or dist")
+	iters := flag.Int("iters", 4, "iterations to run")
+	width := flag.Int("width", 96, "pages per output row")
+	flag.Parse()
+
+	build, ok := exp.Builder(strings.ToUpper(*bench))
+	if !ok {
+		fatal("unknown benchmark %q", *bench)
+	}
+	mc := machine.DefaultConfig()
+	nas.ClassW.MachineTweak(&mc)
+	switch *placement {
+	case "ft":
+		mc.Placement = vm.FirstTouch
+	case "rr":
+		mc.Placement = vm.RoundRobin
+	case "rand":
+		mc.Placement = vm.Random
+	case "wc":
+		mc.Placement = vm.WorstCase
+	default:
+		fatal("unknown placement %q", *placement)
+	}
+	m, err := machine.New(mc)
+	if err != nil {
+		fatal("%v", err)
+	}
+	k := build(m, nas.ClassW, 1, 42)
+	kmig.Attach(m, kmig.Config{}).SetEnabled(false)
+	team, err := omp.NewTeam(m, m.NumCPUs())
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	team.SetSerial(true)
+	k.InitTouch(team)
+	k.Step(team, nil)
+	team.SetSerial(false)
+	k.Reinit()
+	m.PT.ResetAllCounters()
+
+	var u *upm.UPM
+	if *upmMode == "dist" {
+		u = upm.Init(m, upm.Options{})
+		for _, r := range k.HotPages() {
+			u.MemRefCnt(r[0], r[1])
+		}
+	}
+
+	fmt.Printf("%s, %s placement, upm=%s — page homes by node (one char per page)\n\n",
+		k.Name(), mc.Placement, *upmMode)
+	dump(m, k, *width, "after cold start")
+	for step := 1; step <= *iters; step++ {
+		k.Step(team, nil)
+		if u != nil && (step == 1 || (u.Active() && u.LastMigrations() > 0)) {
+			u.MigrateMemory(team.Master())
+		}
+		dump(m, k, *width, fmt.Sprintf("after iteration %d", step))
+	}
+	hist := m.PT.HomeHistogram()
+	fmt.Printf("pages per node: %v\n", hist)
+	_ = upmgo.ClassW // keep the public facade linked for documentation purposes
+}
+
+func dump(m *machine.Machine, k nas.Kernel, width int, label string) {
+	fmt.Println(label + ":")
+	var sb strings.Builder
+	col := 0
+	for _, r := range k.HotPages() {
+		for vpn := r[0]; vpn < r[1]; vpn++ {
+			switch {
+			case m.PT.Frozen(vpn):
+				sb.WriteByte('!')
+			case m.PT.HasReplicas(vpn):
+				sb.WriteByte('*')
+			default:
+				h := m.PT.Home(vpn)
+				if h < 0 {
+					sb.WriteByte('.')
+				} else {
+					sb.WriteByte(byte('0' + h%10))
+				}
+			}
+			col++
+			if col%width == 0 {
+				sb.WriteByte('\n')
+			}
+		}
+	}
+	out := sb.String()
+	if !strings.HasSuffix(out, "\n") {
+		out += "\n"
+	}
+	fmt.Println(out)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pagemap: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,231 @@
+// Command sweep regenerates the paper's tables and figures on the
+// simulated machine and prints them as text tables with ASCII bars.
+//
+// Examples:
+//
+//	sweep -table 1                  # memory hierarchy latencies
+//	sweep -fig 1 -class W           # placement x kernel migration
+//	sweep -fig 4 -benches BT,CG     # + UPMlib, selected benchmarks
+//	sweep -table 2                  # steady-state slowdown statistics
+//	sweep -fig 5                    # record-replay on BT and SP
+//	sweep -fig 6                    # record-replay on the scaled BT
+//	sweep -all                      # everything (EXPERIMENTS.md input)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"upmgo"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate: 1, 4, 5 or 6")
+	table := flag.Int("table", 0, "table to regenerate: 1 or 2")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	class := flag.String("class", "W", "problem class: S, W or A")
+	benches := flag.String("benches", "", "comma-separated benchmark subset (default: all)")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	iters := flag.Int("iters", 0, "override iteration count (0 = class default)")
+	csvOut := flag.Bool("csv", false, "emit figure 1/4 data as CSV instead of bars")
+	flag.Parse()
+	csvMode = *csvOut
+
+	o := upmgo.SweepOptions{Seed: *seed, Iterations: *iters}
+	switch strings.ToUpper(*class) {
+	case "S":
+		o.Class = upmgo.ClassS
+	case "W":
+		o.Class = upmgo.ClassW
+	case "A":
+		o.Class = upmgo.ClassA
+	default:
+		fatal("unknown class %q", *class)
+	}
+	if *benches != "" {
+		o.Benches = strings.Split(strings.ToUpper(*benches), ",")
+	}
+
+	t0 := time.Now()
+	switch {
+	case *all:
+		runTable1()
+		runFigure(1, o)
+		runFigure(4, o)
+		runTable2(o)
+		runFigure(5, o)
+		runFigure(6, o)
+	case *table == 1:
+		runTable1()
+	case *table == 2:
+		runTable2(o)
+	case *fig != 0:
+		runFigure(*fig, o)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: done in %s (host time)\n", time.Since(t0).Round(time.Millisecond))
+}
+
+func runTable1() {
+	if err := upmgo.WriteTable1(os.Stdout); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Println()
+}
+
+func runFigure(fig int, o upmgo.SweepOptions) {
+	switch fig {
+	case 1, 4:
+		var cells []upmgo.ExperimentCell
+		var err error
+		if fig == 1 {
+			cells, err = upmgo.Figure1(o)
+		} else {
+			cells, err = upmgo.Figure4(o)
+		}
+		if err != nil {
+			fatal("figure %d: %v", fig, err)
+		}
+		if csvMode {
+			upmgo.WriteCellsCSV(os.Stdout, cells)
+			return
+		}
+		title := fmt.Sprintf("Figure %d. NAS benchmarks, Class %s, execution time under the four page", fig, o.Class)
+		sub := "placement schemes"
+		if fig == 1 {
+			sub += " with and without the IRIX-style kernel migration engine."
+		} else {
+			sub += ", with kernel migration, and with UPMlib."
+		}
+		writeCells(title+"\n"+sub, cells)
+		writeSummary(cells)
+	case 5, 6:
+		var cells []upmgo.Figure5Cell
+		var err error
+		if fig == 5 {
+			cells, err = upmgo.Figure5(o)
+		} else {
+			cells, err = upmgo.Figure6(o)
+		}
+		if err != nil {
+			fatal("figure %d: %v", fig, err)
+		}
+		title := "Figure 5. Record-replay data redistribution on BT and SP (ft placement)."
+		if fig == 6 {
+			title = "Figure 6. Record-replay on the synthetically scaled BT (each phase x4)."
+		}
+		writeFigure5(title, cells)
+	default:
+		fatal("no figure %d in the paper's evaluation", fig)
+	}
+	fmt.Println()
+}
+
+func runTable2(o upmgo.SweepOptions) {
+	rows, err := upmgo.Table2(o)
+	if err != nil {
+		fatal("table 2: %v", err)
+	}
+	fmt.Println("Table 2. With UPMlib: slowdown vs first-touch over the last 75% of the")
+	fmt.Println("iterations (left), and the fraction of page migrations performed by the")
+	fmt.Println("first invocation (right).")
+	fmt.Printf("%-6s | %8s %8s %8s | %8s %8s %8s\n", "Bench", "rr", "rand", "wc", "rr", "rand", "wc")
+	for _, r := range rows {
+		fmt.Printf("%-6s | %7.1f%% %7.1f%% %7.1f%% | %7.0f%% %7.0f%% %7.0f%%\n", r.Bench,
+			100*r.SlowdownTail["rr"], 100*r.SlowdownTail["rand"], 100*r.SlowdownTail["wc"],
+			100*r.FirstIterFrac["rr"], 100*r.FirstIterFrac["rand"], 100*r.FirstIterFrac["wc"])
+	}
+	fmt.Println()
+}
+
+func writeCells(title string, cells []upmgo.ExperimentCell) {
+	fmt.Println(title)
+	byBench := map[string][]upmgo.ExperimentCell{}
+	var order []string
+	for _, c := range cells {
+		if _, seen := byBench[c.Bench]; !seen {
+			order = append(order, c.Bench)
+		}
+		byBench[c.Bench] = append(byBench[c.Bench], c)
+	}
+	for _, b := range order {
+		group := byBench[b]
+		var max float64
+		for _, c := range group {
+			if s := c.Seconds(); s > max {
+				max = s
+			}
+		}
+		fmt.Printf("\n%s (virtual seconds, %d iterations)\n", b, len(group[0].Result.IterPS))
+		for _, c := range group {
+			bar := strings.Repeat("#", int(40*c.Seconds()/max+0.5))
+			fmt.Printf("  %-14s %9.4f  %s\n", c.Label, c.Seconds(), bar)
+		}
+	}
+}
+
+func writeSummary(cells []upmgo.ExperimentCell) {
+	type key struct{ bench, label string }
+	times := map[key]float64{}
+	labels := map[string]bool{}
+	benches := map[string]bool{}
+	for _, c := range cells {
+		times[key{c.Bench, c.Label}] = c.Seconds()
+		labels[c.Label] = true
+		benches[c.Bench] = true
+	}
+	var names []string
+	for l := range labels {
+		if !strings.HasPrefix(l, "ft-") {
+			names = append(names, l)
+		}
+	}
+	sort.Strings(names)
+	fmt.Println("\nMean slowdown vs the ft bar with the same engine:")
+	for _, label := range names {
+		suffix := label[strings.Index(label, "-"):]
+		var sum float64
+		var n int
+		for b := range benches {
+			base, ok1 := times[key{b, "ft" + suffix}]
+			v, ok2 := times[key{b, label}]
+			if ok1 && ok2 && base > 0 {
+				sum += v/base - 1
+				n++
+			}
+		}
+		if n > 0 {
+			fmt.Printf("  %-14s %+6.1f%%\n", label, 100*sum/float64(n))
+		}
+	}
+}
+
+func writeFigure5(title string, cells []upmgo.Figure5Cell) {
+	fmt.Println(title)
+	var max float64
+	for _, c := range cells {
+		if c.Seconds > max {
+			max = c.Seconds
+		}
+	}
+	for _, c := range cells {
+		bar := strings.Repeat("#", int(40*(c.Seconds-c.OverheadS)/max+0.5))
+		over := strings.Repeat("/", int(40*c.OverheadS/max+0.5))
+		fmt.Printf("  %-3s %-12s %9.4fs (z phase %8.4fs, migration overhead %7.4fs, moves %5d) %s%s\n",
+			c.Bench, c.Label, c.Seconds, c.PhaseS, c.OverheadS, c.Migrations, bar, over)
+	}
+}
+
+// csvMode switches figure output to CSV.
+var csvMode bool
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
+	os.Exit(1)
+}

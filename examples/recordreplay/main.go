@@ -1,0 +1,94 @@
+// Recordreplay: the paper's data *re*distribution mechanism on a
+// two-phase kernel. Phase A sweeps the grid row-partitioned (local under
+// first-touch); phase B processes the rows under a rotated partition —
+// thread t works on the band half the machine away — so the placement
+// phase A established is wrong for every page of phase B. A static data
+// distribution can serve one phase only. UPMlib records the counters
+// around phase B during one iteration, computes which pages phase B wants
+// elsewhere, and in every later iteration replays those migrations before
+// the phase and undoes them after it — the paper's Figure 3 protocol,
+// without any data distribution directive in the program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"upmgo"
+)
+
+const (
+	n     = 512 // n x n grid, one page per two rows at 16 KB pages
+	iters = 6
+)
+
+func main() {
+	m, err := upmgo.NewMachine(upmgo.DefaultMachineConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := m.NewArray("a", n*n)
+	team, err := upmgo.NewTeam(m, m.NumCPUs())
+	if err != nil {
+		log.Fatal(err)
+	}
+	u := upmgo.NewUPM(m, upmgo.UPMOptions{MaxCritical: 128})
+	lo, hi := a.PageRange()
+	u.MemRefCnt(lo, hi)
+
+	phaseA := func() { // rows: local under first-touch
+		team.Parallel(func(tr *upmgo.Thread) {
+			tr.For(0, n, upmgo.StaticSchedule(), func(c *upmgo.CPU, from, to int) {
+				for r := from; r < to; r++ {
+					for col := 0; col < n; col++ {
+						a.Add(c, r*n+col, 1)
+						c.Flops(1)
+					}
+				}
+			})
+		})
+	}
+	phaseB := func() { // rotated row bands: every page is remote now
+		team.Parallel(func(tr *upmgo.Thread) {
+			tr.For(0, n, upmgo.StaticSchedule(), func(c *upmgo.CPU, from, to int) {
+				for r0 := from; r0 < to; r0++ {
+					r := (r0 + n/2) % n // the band half the machine away
+					for col := 0; col < n; col++ {
+						a.Add(c, r*n+col, 1)
+						c.Flops(1)
+					}
+				}
+			})
+		})
+	}
+
+	// First-touch placement by phase A's partitioning.
+	phaseA()
+
+	master := team.Master()
+	fmt.Println("iter  phaseB(ms)  replays  undos")
+	for it := 1; it <= iters; it++ {
+		phaseA()
+		switch it {
+		case 1:
+			// Record around phase B once.
+			u.Record(master)
+		default:
+			u.Replay(master) // move phase B's critical pages ahead of it
+		}
+		t0 := master.Now()
+		phaseB()
+		dt := master.Now() - t0
+		switch it {
+		case 1:
+			u.Record(master)
+			u.CompareCounters(master)
+		default:
+			u.Undo(master) // restore phase A's distribution
+		}
+		s := u.Stats()
+		fmt.Printf("%4d %11.3f %8d %6d\n", it, float64(dt)/1e9, s.ReplayMigrations, s.UndoMigrations)
+	}
+	fmt.Printf("\n%d phase plans computed; every replayed page went home afterwards: %v\n",
+		u.Plans(), u.Stats().ReplayMigrations == u.Stats().UndoMigrations)
+}

@@ -1,0 +1,3 @@
+module upmgo
+
+go 1.23

@@ -1,0 +1,145 @@
+// Package kmig implements the baseline the paper compares against: an
+// IRIX-style, kernel-level competitive page migration engine in the spirit
+// of Verghese et al. (ASPLOS'96), the design the Origin2000 kernel adopted.
+//
+// The hardware counts, per page frame, the memory accesses from every
+// node. When the count from some remote node exceeds the count from the
+// page's home node by more than a threshold, the kernel migrates the page
+// to that node, invalidating TLB entries machine-wide.
+//
+// The real engine is interrupt-driven; the simulator applies the same
+// criterion at barriers (its quiescent points), which keeps runs
+// deterministic. The migration cost — page copy plus one TLB-shootdown
+// interrupt per processor — is charged to the barrier time, since every
+// processor participates in the shootdown.
+package kmig
+
+import (
+	"upmgo/internal/machine"
+)
+
+// Config tunes the kernel engine.
+type Config struct {
+	// Threshold is the excess of remote over home accesses that triggers
+	// a migration (the IRIX "predefined threshold").
+	Threshold uint32
+	// MaxPerScan bounds migrations applied at one barrier, modelling the
+	// kernel's resource-management throttle. 0 means the default.
+	MaxPerScan int
+	// ScanEvery applies the policy only at every k-th barrier, modelling
+	// the bounded rate at which interrupts fire. 0 means every barrier.
+	ScanEvery int
+	// DecayEvery halves every page's counters at every k-th scan (the
+	// kernel's aging step; it also un-saturates the 11-bit counters).
+	// 0 means the default; negative disables decay.
+	DecayEvery int
+}
+
+// DefaultConfig mirrors the spirit of the IRIX defaults: migrate on a
+// clear excess, few pages at a time.
+func DefaultConfig() Config {
+	return Config{Threshold: 32, MaxPerScan: 16, ScanEvery: 1, DecayEvery: 1}
+}
+
+// Engine is an attached kernel migration engine.
+type Engine struct {
+	m   *machine.Machine
+	cfg Config
+
+	enabled  bool
+	barriers int64
+
+	migrations int64
+	rejected   int64 // candidates dropped by the per-scan throttle
+	costPS     int64 // total picoseconds charged
+
+	row []uint32 // scratch counter row
+}
+
+// Attach creates the engine and registers it on the machine's barriers.
+// It starts enabled; SetEnabled(false) corresponds to running without
+// DSM_MIGRATION.
+func Attach(m *machine.Machine, cfg Config) *Engine {
+	if cfg.Threshold == 0 {
+		cfg.Threshold = DefaultConfig().Threshold
+	}
+	if cfg.MaxPerScan == 0 {
+		cfg.MaxPerScan = DefaultConfig().MaxPerScan
+	}
+	if cfg.ScanEvery == 0 {
+		cfg.ScanEvery = 1
+	}
+	if cfg.DecayEvery == 0 {
+		cfg.DecayEvery = DefaultConfig().DecayEvery
+	}
+	e := &Engine{m: m, cfg: cfg, enabled: true, row: make([]uint32, m.Topo.Nodes())}
+	m.AddBarrierHook(e.hook)
+	return e
+}
+
+// SetEnabled turns the engine on or off (DSM_MIGRATION).
+func (e *Engine) SetEnabled(on bool) { e.enabled = on }
+
+// Enabled reports whether the engine is active.
+func (e *Engine) Enabled() bool { return e.enabled }
+
+// Migrations returns the number of pages the engine has moved.
+func (e *Engine) Migrations() int64 { return e.migrations }
+
+// Rejected returns the number of eligible pages dropped by the throttle.
+func (e *Engine) Rejected() int64 { return e.rejected }
+
+// Cost returns the total picoseconds of migration overhead charged.
+func (e *Engine) Cost() int64 { return e.costPS }
+
+// hook runs at every barrier: scan the allocated pages, apply the
+// competitive criterion, migrate up to MaxPerScan pages, reset the moved
+// pages' counters, and return the overhead to add to the barrier time.
+func (e *Engine) hook(now int64) int64 {
+	if !e.enabled {
+		return 0
+	}
+	e.barriers++
+	if e.cfg.ScanEvery > 1 && e.barriers%int64(e.cfg.ScanEvery) != 0 {
+		return 0
+	}
+	pt := e.m.PT
+	moved := 0
+	var cost int64
+	perPage := e.m.MigrationCost()
+	npages := e.m.AllocatedPages()
+	scans := e.barriers / int64(e.cfg.ScanEvery)
+	decay := e.cfg.DecayEvery > 0 && scans%int64(e.cfg.DecayEvery) == 0
+	for vpn := uint64(0); vpn < npages; vpn++ {
+		home := pt.Home(vpn)
+		if home < 0 {
+			continue
+		}
+		row := pt.Counters(vpn, e.row)
+		if decay {
+			// Decisions below use the copied row; age the live counters.
+			pt.DecayCounters(vpn)
+		}
+		best, bestCount := -1, uint32(0)
+		for n, c := range row {
+			if n != home && c > bestCount {
+				best, bestCount = n, c
+			}
+		}
+		if best < 0 || bestCount <= row[home] || bestCount-row[home] <= e.cfg.Threshold {
+			continue
+		}
+		if moved >= e.cfg.MaxPerScan {
+			e.rejected++
+			continue
+		}
+		if res := pt.Migrate(vpn, best); res.Moved {
+			moved++
+			e.migrations++
+			cost += perPage
+			pt.ResetCounters(vpn)
+		}
+	}
+	e.costPS += cost
+	return cost
+}

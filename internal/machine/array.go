@@ -1,0 +1,149 @@
+package machine
+
+import "fmt"
+
+// Array is a one-dimensional float64 array living in the simulated address
+// space. Every Get/Set charges the accessing CPU for the reference; Data
+// gives zero-cost access for verification and initialisation that should
+// not perturb the experiment.
+type Array struct {
+	Name string
+	base uint64
+	data []float64
+	m    *Machine
+}
+
+// NewArray allocates a page-aligned simulated array of n float64s.
+func (m *Machine) NewArray(name string, n int) *Array {
+	return &Array{Name: name, base: m.Alloc(n * 8), data: make([]float64, n), m: m}
+}
+
+// Len returns the element count.
+func (a *Array) Len() int { return len(a.data) }
+
+// Base returns the array's base virtual address.
+func (a *Array) Base() uint64 { return a.base }
+
+// Addr returns the virtual address of element i.
+func (a *Array) Addr(i int) uint64 { return a.base + uint64(i)*8 }
+
+// Get loads element i as CPU c.
+func (a *Array) Get(c *CPU, i int) float64 {
+	c.Load(a.base + uint64(i)*8)
+	return a.data[i]
+}
+
+// Set stores v into element i as CPU c.
+func (a *Array) Set(c *CPU, i int, v float64) {
+	c.Store(a.base + uint64(i)*8)
+	a.data[i] = v
+}
+
+// Add adds v to element i as CPU c (one write reference: the read half of
+// the read-modify-write hits the line the store just claimed).
+func (a *Array) Add(c *CPU, i int, v float64) {
+	c.Store(a.base + uint64(i)*8)
+	a.data[i] += v
+}
+
+// Data returns the backing storage without charging any simulated cost.
+func (a *Array) Data() []float64 { return a.data }
+
+// PageRange returns the half-open range of virtual page numbers spanned by
+// the array; migration engines register hot areas with it.
+func (a *Array) PageRange() (lo, hi uint64) {
+	lo = a.m.VPN(a.base)
+	hi = a.m.VPN(a.base+uint64(len(a.data)*8)-1) + 1
+	return lo, hi
+}
+
+// String identifies the array for diagnostics.
+func (a *Array) String() string {
+	return fmt.Sprintf("%s[%d]@%#x", a.Name, len(a.data), a.base)
+}
+
+// IntArray is a one-dimensional int32 array in simulated memory (sparse
+// matrix index structures in CG use it).
+type IntArray struct {
+	Name string
+	base uint64
+	data []int32
+	m    *Machine
+}
+
+// NewIntArray allocates a page-aligned simulated array of n int32s.
+func (m *Machine) NewIntArray(name string, n int) *IntArray {
+	return &IntArray{Name: name, base: m.Alloc(n * 4), data: make([]int32, n), m: m}
+}
+
+// Len returns the element count.
+func (a *IntArray) Len() int { return len(a.data) }
+
+// Base returns the array's base virtual address.
+func (a *IntArray) Base() uint64 { return a.base }
+
+// Get loads element i as CPU c.
+func (a *IntArray) Get(c *CPU, i int) int32 {
+	c.Load(a.base + uint64(i)*4)
+	return a.data[i]
+}
+
+// Set stores v into element i as CPU c.
+func (a *IntArray) Set(c *CPU, i int, v int32) {
+	c.Store(a.base + uint64(i)*4)
+	a.data[i] = v
+}
+
+// Data returns the backing storage without charging any simulated cost.
+func (a *IntArray) Data() []int32 { return a.data }
+
+// PageRange returns the page span of the array.
+func (a *IntArray) PageRange() (lo, hi uint64) {
+	lo = a.m.VPN(a.base)
+	hi = a.m.VPN(a.base+uint64(len(a.data)*4)-1) + 1
+	return lo, hi
+}
+
+// Array3 is a dense 3-D view over an Array with C layout: the last index
+// is contiguous. The NAS grid codes use it so that parallelising the
+// outermost dimension gives each thread a contiguous page range — the
+// layout the paper's first-touch tuning relies on.
+type Array3 struct {
+	*Array
+	N1, N2, N3 int
+}
+
+// NewArray3 allocates an n1 x n2 x n3 simulated grid.
+func (m *Machine) NewArray3(name string, n1, n2, n3 int) *Array3 {
+	return &Array3{Array: m.NewArray(name, n1*n2*n3), N1: n1, N2: n2, N3: n3}
+}
+
+// Idx returns the flat index of (i,j,k).
+func (a *Array3) Idx(i, j, k int) int { return (i*a.N2+j)*a.N3 + k }
+
+// Get3 loads (i,j,k) as CPU c.
+func (a *Array3) Get3(c *CPU, i, j, k int) float64 { return a.Get(c, a.Idx(i, j, k)) }
+
+// Set3 stores v at (i,j,k) as CPU c.
+func (a *Array3) Set3(c *CPU, i, j, k int, v float64) { a.Set(c, a.Idx(i, j, k), v) }
+
+// Array4 is a dense 4-D view (component-innermost layout used by BT/SP:
+// u[i][j][k][m] with m the solution component).
+type Array4 struct {
+	*Array
+	N1, N2, N3, N4 int
+}
+
+// NewArray4 allocates an n1 x n2 x n3 x n4 simulated grid.
+func (m *Machine) NewArray4(name string, n1, n2, n3, n4 int) *Array4 {
+	return &Array4{Array: m.NewArray(name, n1*n2*n3*n4), N1: n1, N2: n2, N3: n3, N4: n4}
+}
+
+// Idx returns the flat index of (i,j,k,l).
+func (a *Array4) Idx(i, j, k, l int) int { return ((i*a.N2+j)*a.N3+k)*a.N4 + l }
+
+// Get4 loads (i,j,k,l) as CPU c.
+func (a *Array4) Get4(c *CPU, i, j, k, l int) float64 { return a.Get(c, a.Idx(i, j, k, l)) }
+
+// Set4 stores v at (i,j,k,l) as CPU c.
+func (a *Array4) Set4(c *CPU, i, j, k, l int, v float64) { a.Set(c, a.Idx(i, j, k, l), v) }

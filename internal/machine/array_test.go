@@ -1,0 +1,197 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestArrayBasics(t *testing.T) {
+	m := defMachine(t)
+	a := m.NewArray("vals", 100)
+	if a.Len() != 100 {
+		t.Errorf("Len = %d, want 100", a.Len())
+	}
+	c := m.CPU(0)
+	a.Set(c, 7, 3.5)
+	if got := a.Get(c, 7); got != 3.5 {
+		t.Errorf("Get(7) = %v, want 3.5", got)
+	}
+	a.Add(c, 7, 1.5)
+	if got := a.Data()[7]; got != 5 {
+		t.Errorf("after Add, a[7] = %v, want 5", got)
+	}
+	if a.Addr(3) != a.Base()+24 {
+		t.Errorf("Addr(3) = %#x, want base+24", a.Addr(3))
+	}
+	if !strings.Contains(a.String(), "vals") {
+		t.Errorf("String() = %q, want the name in it", a.String())
+	}
+}
+
+func TestArrayOutOfBoundsPanics(t *testing.T) {
+	m := defMachine(t)
+	a := m.NewArray("x", 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on out-of-bounds Get")
+		}
+	}()
+	a.Get(m.CPU(0), 4)
+}
+
+func TestIntArrayBasics(t *testing.T) {
+	m := defMachine(t)
+	a := m.NewIntArray("idx", 50)
+	if a.Len() != 50 {
+		t.Errorf("Len = %d, want 50", a.Len())
+	}
+	c := m.CPU(3)
+	a.Set(c, 10, -7)
+	if got := a.Get(c, 10); got != -7 {
+		t.Errorf("Get = %d, want -7", got)
+	}
+	if a.Data()[10] != -7 {
+		t.Error("Data() disagrees with Get")
+	}
+	lo, hi := a.PageRange()
+	if hi <= lo {
+		t.Errorf("empty page range [%d,%d)", lo, hi)
+	}
+	if a.Base()%uint64(m.PageBytes()) != 0 {
+		t.Error("IntArray not page-aligned")
+	}
+}
+
+func TestArray3Indexing(t *testing.T) {
+	m := defMachine(t)
+	a := m.NewArray3("g", 3, 4, 5)
+	c := m.CPU(0)
+	// Idx must be the row-major C layout with the last index contiguous.
+	if a.Idx(0, 0, 1)-a.Idx(0, 0, 0) != 1 {
+		t.Error("last index not contiguous")
+	}
+	if a.Idx(0, 1, 0)-a.Idx(0, 0, 0) != 5 {
+		t.Error("middle stride wrong")
+	}
+	if a.Idx(1, 0, 0)-a.Idx(0, 0, 0) != 20 {
+		t.Error("outer stride wrong")
+	}
+	a.Set3(c, 2, 3, 4, 9)
+	if got := a.Get3(c, 2, 3, 4); got != 9 {
+		t.Errorf("Get3 = %v, want 9", got)
+	}
+	if a.Data()[a.Idx(2, 3, 4)] != 9 {
+		t.Error("flat access disagrees")
+	}
+}
+
+func TestArray4Indexing(t *testing.T) {
+	m := defMachine(t)
+	a := m.NewArray4("u", 2, 3, 4, 5)
+	c := m.CPU(1)
+	if a.Idx(0, 0, 0, 1)-a.Idx(0, 0, 0, 0) != 1 ||
+		a.Idx(0, 0, 1, 0)-a.Idx(0, 0, 0, 0) != 5 ||
+		a.Idx(0, 1, 0, 0)-a.Idx(0, 0, 0, 0) != 20 ||
+		a.Idx(1, 0, 0, 0)-a.Idx(0, 0, 0, 0) != 60 {
+		t.Error("Array4 strides wrong")
+	}
+	a.Set4(c, 1, 2, 3, 4, 42)
+	if got := a.Get4(c, 1, 2, 3, 4); got != 42 {
+		t.Errorf("Get4 = %v, want 42", got)
+	}
+}
+
+// Property: Idx is a bijection over the grid bounds.
+func TestArray3IdxBijective(t *testing.T) {
+	m := defMachine(t)
+	a := m.NewArray3("g", 7, 5, 3)
+	seen := map[int]bool{}
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 5; j++ {
+			for k := 0; k < 3; k++ {
+				x := a.Idx(i, j, k)
+				if x < 0 || x >= a.Len() || seen[x] {
+					t.Fatalf("Idx(%d,%d,%d) = %d invalid or duplicate", i, j, k, x)
+				}
+				seen[x] = true
+			}
+		}
+	}
+	if len(seen) != a.Len() {
+		t.Errorf("Idx covered %d of %d cells", len(seen), a.Len())
+	}
+}
+
+func TestCoherenceInvalidationAcrossCPUs(t *testing.T) {
+	m := defMachine(t)
+	a := m.NewArray("x", 64)
+	w, r := m.CPU(0), m.CPU(15)
+
+	// Reader caches the line.
+	r.Load(a.Addr(0))
+	r.Load(a.Addr(0))
+	missesBefore := r.Stat().L2Miss
+
+	// A different CPU writes the unit: the reader's copy must go stale.
+	w.Store(a.Addr(1))
+	r.Load(a.Addr(0))
+	if r.Stat().L2Miss != missesBefore+1 {
+		t.Error("reader did not take an invalidation miss after a remote store")
+	}
+
+	// Without intervening writes, the refilled copy stays valid.
+	missesBefore = r.Stat().L2Miss
+	r.Load(a.Addr(0))
+	if r.Stat().L2Miss != missesBefore {
+		t.Error("reader missed again without any new write")
+	}
+}
+
+func TestCoherenceOwnerStoresAreFree(t *testing.T) {
+	m := defMachine(t)
+	a := m.NewArray("x", 64)
+	c := m.CPU(2)
+	c.Store(a.Addr(0))
+	misses := c.Stat().L2Miss
+	for i := 0; i < 50; i++ {
+		c.Store(a.Addr(0)) // exclusive owner: M-state writes
+	}
+	if c.Stat().L2Miss != misses {
+		t.Errorf("owner stores caused %d extra L2 misses", c.Stat().L2Miss-misses)
+	}
+}
+
+func TestCoherenceWriteAfterRemoteReadInvalidates(t *testing.T) {
+	m := defMachine(t)
+	a := m.NewArray("x", 64)
+	w, r := m.CPU(0), m.CPU(8)
+	w.Store(a.Addr(0)) // w owns the unit
+	r.Load(a.Addr(0))  // r shares it
+	// w writes again: because the unit went shared, this must bump the
+	// version and invalidate r's copy.
+	w.Store(a.Addr(0))
+	misses := r.Stat().L2Miss
+	r.Load(a.Addr(0))
+	if r.Stat().L2Miss != misses+1 {
+		t.Error("shared copy not invalidated by the owner's next store")
+	}
+}
+
+// Property: reading any address right after writing it from the same CPU
+// hits in L1 (read-your-writes locality).
+func TestReadYourWritesHitsL1(t *testing.T) {
+	m := defMachine(t)
+	a := m.NewArray("x", 4096)
+	c := m.CPU(5)
+	f := func(idx uint16) bool {
+		i := int(idx) % a.Len()
+		a.Set(c, i, 1)
+		before := c.Stat().L1Miss
+		a.Get(c, i)
+		return c.Stat().L1Miss == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,515 @@
+// Package machine assembles the simulated ccNUMA multiprocessor: CPUs with
+// private caches and TLBs, hypercube-connected memory nodes, a paged
+// address space, and integer-picosecond virtual time. Application code
+// (the NAS kernels, the examples) performs every array element access
+// through this package, which charges the access to the accessing CPU's
+// clock according to where it is served — L1, L2, local memory, or an
+// N-hop remote memory — exactly the ladder of the paper's Table 1.
+//
+// Virtual time and determinism: each CPU carries its own clock. Within a
+// parallel region CPUs never read each other's clocks, so goroutines can
+// execute truly in parallel on the host; at every barrier the runtime
+// calls Settle, which applies the memory-node contention model to the
+// region just finished and synchronises all clocks to the barrier time.
+// The result is bit-reproducible regardless of host scheduling (up to
+// first-touch fault races on chunk-boundary pages, which static loop
+// schedules make rare; the omp package also offers a serial mode).
+package machine
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+
+	"upmgo/internal/memsys"
+	"upmgo/internal/topology"
+	"upmgo/internal/vm"
+)
+
+// Config describes a machine. DefaultConfig returns the 16-processor SGI
+// Origin2000 of the paper.
+type Config struct {
+	Nodes       int // memory nodes, power of two
+	CPUsPerNode int
+
+	PageBytes     int   // virtual memory page size
+	ArenaPages    int   // size of the simulated address space
+	CapacityPages int64 // per-node page capacity, 0 = unlimited
+
+	L1Bytes, L1Line, L1Ways int
+	L2Bytes, L2Line, L2Ways int
+	TLBEntries, TLBWays     int
+
+	Lat memsys.Latency
+
+	Placement   vm.Policy
+	Seed        uint64
+	CounterBits int // hardware reference counter width, 0 = 11
+}
+
+// DefaultConfig returns the machine evaluated in the paper: 16 R10000
+// processors on 8 nodes (2 per node), 16 KB pages, 32 KB 2-way L1 with
+// 32-byte lines, 4 MB 2-way L2 with 128-byte lines, 64-entry TLB, and the
+// Table 1 latency ladder.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:       8,
+		CPUsPerNode: 2,
+		PageBytes:   16 * 1024,
+		ArenaPages:  1 << 15, // 512 MB of simulated address space
+		L1Bytes:     32 * 1024,
+		L1Line:      32,
+		L1Ways:      2,
+		L2Bytes:     4 * 1024 * 1024,
+		L2Line:      128,
+		L2Ways:      2,
+		TLBEntries:  64,
+		TLBWays:     8,
+		Lat:         memsys.Origin2000(),
+		Placement:   vm.FirstTouch,
+	}
+}
+
+// BarrierHook runs at every barrier after contention settlement; it
+// returns extra picoseconds to add to the barrier time (e.g. the cost of
+// kernel-initiated page migrations applied at this quiescent point).
+type BarrierHook func(now int64) int64
+
+// Machine is one simulated ccNUMA multiprocessor. It is not safe to share
+// a Machine between concurrently running teams.
+type Machine struct {
+	Cfg  Config
+	Topo *topology.Hypercube
+	PT   *vm.PageTable
+	Lat  memsys.Latency
+
+	cpus      []*CPU
+	pageShift uint
+	heap      uint64 // next free byte in the arena
+
+	// Coherence directory: one packed state word per coherence unit (an
+	// L2 line): bits [31:9] a write version, [8:1] the last writer's CPU
+	// id, bit 0 a "shared since last write" flag. A store by a CPU that
+	// is not the exclusive owner bumps the version; every other CPU's
+	// cached copy of the unit then fails its version check and misses,
+	// exactly the invalidation a MESI directory would deliver, while an
+	// owner's repeated stores stay free as in the M state. This is what
+	// produces the paper's sustained memory traffic in iterative codes —
+	// without it, steady-state stencil sweeps would run entirely from
+	// private caches and page placement would stop mattering.
+	cohShift  uint
+	lineState []uint32
+
+	hooks []BarrierHook
+}
+
+// New builds a machine. Zero fields of cfg that have a default are filled
+// in from DefaultConfig.
+func New(cfg Config) (*Machine, error) {
+	def := DefaultConfig()
+	if cfg.Nodes == 0 {
+		cfg.Nodes = def.Nodes
+	}
+	if cfg.CPUsPerNode == 0 {
+		cfg.CPUsPerNode = def.CPUsPerNode
+	}
+	if cfg.PageBytes == 0 {
+		cfg.PageBytes = def.PageBytes
+	}
+	if cfg.ArenaPages == 0 {
+		cfg.ArenaPages = def.ArenaPages
+	}
+	if cfg.L1Bytes == 0 {
+		cfg.L1Bytes, cfg.L1Line, cfg.L1Ways = def.L1Bytes, def.L1Line, def.L1Ways
+	}
+	if cfg.L2Bytes == 0 {
+		cfg.L2Bytes, cfg.L2Line, cfg.L2Ways = def.L2Bytes, def.L2Line, def.L2Ways
+	}
+	if cfg.TLBEntries == 0 {
+		cfg.TLBEntries, cfg.TLBWays = def.TLBEntries, def.TLBWays
+	}
+	if cfg.Lat.MemByHops == nil {
+		cfg.Lat = def.Lat
+	}
+	if cfg.PageBytes <= 0 || cfg.PageBytes&(cfg.PageBytes-1) != 0 {
+		return nil, fmt.Errorf("machine: page size %d not a power of two", cfg.PageBytes)
+	}
+	if cfg.CPUsPerNode <= 0 {
+		return nil, fmt.Errorf("machine: %d CPUs per node invalid", cfg.CPUsPerNode)
+	}
+	topo, err := topology.NewHypercube(cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := vm.New(topo, vm.Config{
+		Pages:         cfg.ArenaPages,
+		Policy:        cfg.Placement,
+		Seed:          cfg.Seed,
+		CounterBits:   cfg.CounterBits,
+		CapacityPages: cfg.CapacityPages,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		Cfg:       cfg,
+		Topo:      topo,
+		PT:        pt,
+		Lat:       cfg.Lat,
+		pageShift: uint(bits.TrailingZeros(uint(cfg.PageBytes))),
+		cohShift:  uint(bits.TrailingZeros(uint(cfg.L2Line))),
+	}
+	m.lineState = make([]uint32, (uint64(cfg.ArenaPages)<<m.pageShift)>>m.cohShift)
+	if ncpu := cfg.Nodes * cfg.CPUsPerNode; ncpu > 256 {
+		return nil, fmt.Errorf("machine: %d CPUs exceed the coherence directory's 8-bit writer field", ncpu)
+	}
+	ncpu := cfg.Nodes * cfg.CPUsPerNode
+	m.cpus = make([]*CPU, ncpu)
+	for i := range m.cpus {
+		l1, err := memsys.NewCache(cfg.L1Bytes, cfg.L1Line, cfg.L1Ways)
+		if err != nil {
+			return nil, err
+		}
+		l2, err := memsys.NewCache(cfg.L2Bytes, cfg.L2Line, cfg.L2Ways)
+		if err != nil {
+			return nil, err
+		}
+		tlb, err := memsys.NewTLB(cfg.TLBEntries, cfg.TLBWays)
+		if err != nil {
+			return nil, err
+		}
+		m.cpus[i] = &CPU{
+			ID:      i,
+			NodeID:  i / cfg.CPUsPerNode,
+			m:       m,
+			l1:      l1,
+			l2:      l2,
+			tlb:     tlb,
+			nodeAcc: make([]int64, cfg.Nodes),
+		}
+	}
+	return m, nil
+}
+
+// MustNew is New for statically known configurations.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NumCPUs returns the processor count.
+func (m *Machine) NumCPUs() int { return len(m.cpus) }
+
+// CPU returns processor i.
+func (m *Machine) CPU(i int) *CPU { return m.cpus[i] }
+
+// CPUs returns all processors in id order.
+func (m *Machine) CPUs() []*CPU { return m.cpus }
+
+// PageBytes returns the page size.
+func (m *Machine) PageBytes() int { return m.Cfg.PageBytes }
+
+// PageShift returns log2 of the page size.
+func (m *Machine) PageShift() uint { return m.pageShift }
+
+// VPN returns the virtual page number of an address.
+func (m *Machine) VPN(addr uint64) uint64 { return addr >> m.pageShift }
+
+// AddBarrierHook registers fn to run at every barrier settlement.
+func (m *Machine) AddBarrierHook(fn BarrierHook) { m.hooks = append(m.hooks, fn) }
+
+// Alloc reserves n bytes of simulated address space, page-aligned so that
+// distinct arrays never share a page, and returns the base address.
+func (m *Machine) Alloc(n int) uint64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("machine: Alloc(%d)", n))
+	}
+	base := m.heap
+	pages := (uint64(n) + uint64(m.Cfg.PageBytes) - 1) >> m.pageShift
+	m.heap += pages << m.pageShift
+	if m.VPN(m.heap) > uint64(m.PT.Pages()) {
+		panic(fmt.Sprintf("machine: arena exhausted allocating %d bytes (%d pages in arena)", n, m.PT.Pages()))
+	}
+	return base
+}
+
+// AllocatedPages returns the number of pages allocated so far; migration
+// engines scan only this prefix of the arena.
+func (m *Machine) AllocatedPages() uint64 { return m.VPN(m.heap) }
+
+// PageMoveCost returns the cost of moving one page as part of a batched
+// range migration, without the TLB shootdown: the amortised fixed kernel
+// work plus the page copy.
+func (m *Machine) PageMoveCost() int64 {
+	return m.Lat.MigratePageBatched + int64(m.Cfg.PageBytes)*m.Lat.MigrateBytePS
+}
+
+// ShootdownCost returns the cost of one machine-wide TLB shootdown round
+// (one interprocessor interrupt per CPU).
+func (m *Machine) ShootdownCost() int64 {
+	return int64(len(m.cpus)) * m.Lat.ShootdownPerCPU
+}
+
+// MigrationCost returns the cost of one stand-alone coherent page
+// migration: full fixed kernel work, the page copy, and one TLB-shootdown
+// interrupt per processor. The interrupt-driven kernel engine pays this
+// full price per page; UPMlib batches the moves of one invocation
+// (PageMoveCost each plus a single ShootdownCost for the batch).
+func (m *Machine) MigrationCost() int64 {
+	return m.Lat.MigratePage +
+		int64(m.Cfg.PageBytes)*m.Lat.MigrateBytePS +
+		m.ShootdownCost()
+}
+
+// Settle ends the region that started at start for the given CPUs: it
+// applies the contention model to the per-node access tallies, advances
+// every clock past queueing delays, enforces the saturation floor, runs
+// barrier hooks, and returns the settled time. Callers (the omp runtime)
+// then assign the returned time to every participating clock.
+func (m *Machine) Settle(cpus []*CPU, start int64) int64 {
+	tmax := start
+	for _, c := range cpus {
+		if c.clock > tmax {
+			tmax = c.clock
+		}
+	}
+	acc := make([]int64, m.Cfg.Nodes)
+	for _, c := range cpus {
+		for n, a := range c.nodeAcc {
+			acc[n] += a
+		}
+	}
+	per, floor := memsys.ContentionDelays(acc, tmax-start, m.Lat.MemService)
+	tb := start
+	for _, c := range cpus {
+		for n, a := range c.nodeAcc {
+			if a != 0 {
+				c.clock += a * per[n]
+				c.nodeAcc[n] = 0
+			}
+		}
+		if c.clock > tb {
+			tb = c.clock
+		}
+	}
+	if f := start + floor; f > tb {
+		tb = f
+	}
+	for _, h := range m.hooks {
+		tb += h(tb)
+	}
+	for _, c := range cpus {
+		c.clock = tb
+	}
+	return tb
+}
+
+// Stats aggregates the memory-system counters of every CPU.
+func (m *Machine) Stats() Stats {
+	var s Stats
+	for _, c := range m.cpus {
+		s.L1Miss += c.stat.L1Miss
+		s.L2Miss += c.stat.L2Miss
+		s.TLBMiss += c.stat.TLBMiss
+		s.LocalMem += c.stat.LocalMem
+		s.RemoteMem += c.stat.RemoteMem
+		s.Accesses += c.stat.Accesses
+		s.Faults += c.stat.Faults
+	}
+	s.Migrations = m.PT.Migrations()
+	return s
+}
+
+// Stats summarises memory-system activity.
+type Stats struct {
+	Accesses   uint64
+	L1Miss     uint64
+	L2Miss     uint64
+	TLBMiss    uint64
+	LocalMem   uint64 // L2 misses served by the local node
+	RemoteMem  uint64 // L2 misses served remotely
+	Faults     uint64
+	Migrations int64
+}
+
+// RemoteRatio returns the fraction of memory accesses served remotely.
+func (s Stats) RemoteRatio() float64 {
+	t := s.LocalMem + s.RemoteMem
+	if t == 0 {
+		return 0
+	}
+	return float64(s.RemoteMem) / float64(t)
+}
+
+// CPU is one simulated processor: private L1/L2/TLB, a picosecond clock,
+// and per-region access tallies for the contention model. A CPU must only
+// be driven from one goroutine at a time (the omp runtime guarantees
+// this).
+type CPU struct {
+	ID     int
+	NodeID int
+
+	m     *Machine
+	clock int64
+	l1    *memsys.Cache
+	l2    *memsys.Cache
+	tlb   *memsys.TLB
+
+	nodeAcc []int64 // memory accesses per home node in the current region
+	stat    CPUStats
+}
+
+// CPUStats counts this CPU's memory-system events.
+type CPUStats struct {
+	Accesses  uint64
+	L1Miss    uint64
+	L2Miss    uint64
+	TLBMiss   uint64
+	LocalMem  uint64
+	RemoteMem uint64
+	Faults    uint64
+}
+
+// Machine returns the CPU's machine.
+func (c *CPU) Machine() *Machine { return c.m }
+
+// Now returns the CPU's virtual clock in picoseconds.
+func (c *CPU) Now() int64 { return c.clock }
+
+// SetClock forces the CPU clock; the omp runtime uses it at fork/join.
+func (c *CPU) SetClock(t int64) { c.clock = t }
+
+// Advance adds ps picoseconds of pure computation to the clock.
+func (c *CPU) Advance(ps int64) { c.clock += ps }
+
+// Flops charges n floating-point operations of computation.
+func (c *CPU) Flops(n int) { c.clock += int64(n) * c.m.Lat.FlopCost }
+
+// Stat returns the CPU's event counters.
+func (c *CPU) Stat() CPUStats { return c.stat }
+
+// Load performs one simulated read of addr.
+func (c *CPU) Load(addr uint64) { c.touch(addr, false) }
+
+// Store performs one simulated write of addr, invalidating every other
+// CPU's cached copy of the coherence unit.
+func (c *CPU) Store(addr uint64) { c.touch(addr, true) }
+
+// touch performs one simulated memory reference to addr, walking
+// L1 -> L2 -> (TLB, page table) -> local or remote memory, charging the
+// clock at each level and updating the page reference counters on an L2
+// miss — the Origin2000 counts *memory* accesses, i.e. L2 misses, which is
+// why cache-friendly code barely moves the counters.
+func (c *CPU) touch(addr uint64, write bool) {
+	lat := &c.m.Lat
+	c.stat.Accesses++
+	if write && c.m.PT.WriteTracking() {
+		// Replication extension: log the write; a write to a replicated
+		// page invalidates every read copy even when the store itself
+		// hits in a cache.
+		if dropped := c.m.PT.MarkWritten(addr >> c.m.pageShift); dropped > 0 {
+			c.clock += lat.MigratePage + c.m.ShootdownCost()
+		}
+	}
+	ver, newVer := c.coherence(addr>>c.m.cohShift, write)
+	c.clock += lat.L1Hit
+	if c.l1.Access(addr, ver, newVer) {
+		return
+	}
+	c.stat.L1Miss++
+	if c.l2.Access(addr, ver, newVer) {
+		c.clock += lat.L2Hit
+		return
+	}
+	c.stat.L2Miss++
+	vpn := addr >> c.m.pageShift
+	home, gen, faulted := c.m.PT.Resolve(vpn, c.NodeID)
+	if faulted {
+		c.stat.Faults++
+		c.clock += lat.PageFault
+	}
+	if !write && c.m.PT.HasReplicas(vpn) {
+		// Reads are served by the closest copy (replication extension).
+		home = c.m.PT.NearestCopy(vpn, c.NodeID)
+	}
+	if !c.tlb.Lookup(vpn, gen) {
+		c.stat.TLBMiss++
+		c.clock += lat.TLBRefill
+		c.tlb.Insert(vpn, gen)
+	}
+	hops := c.m.Topo.Hops(c.NodeID, home)
+	if hops == 0 {
+		c.stat.LocalMem++
+	} else {
+		c.stat.RemoteMem++
+	}
+	c.clock += lat.MemLatency(hops)
+	c.m.PT.CountMiss(vpn, c.NodeID)
+	c.nodeAcc[home]++
+}
+
+// coherence runs the directory protocol for one access to a unit and
+// returns the version to validate cached copies against and the version
+// to stamp this CPU's refreshed entries with.
+//
+//   - read: copies at the current version are valid; a read by a CPU other
+//     than the last writer marks the unit shared;
+//   - write by the exclusive owner (last writer, nothing shared since):
+//     free, as in the MESI M state;
+//   - any other write: bump the version (invalidating every other cached
+//     copy at its next use), take ownership, clear the shared flag.
+func (c *CPU) coherence(unit uint64, write bool) (ver, newVer uint32) {
+	p := &c.m.lineState[unit]
+	word := atomic.LoadUint32(p)
+	ver = word >> 9
+	me := uint32(c.ID)
+	if !write {
+		if (word>>1)&0xff != me && word&1 == 0 {
+			// Best effort: losing this race only delays the shared
+			// flag to the next read.
+			atomic.CompareAndSwapUint32(p, word, word|1)
+		}
+		return ver, ver
+	}
+	if (word>>1)&0xff == me && word&1 == 0 {
+		return ver, ver // exclusive owner
+	}
+	for {
+		next := (ver+1)<<9 | me<<1
+		if atomic.CompareAndSwapUint32(p, word, next) {
+			return ver, ver + 1
+		}
+		word = atomic.LoadUint32(p)
+		ver = word >> 9
+		if (word>>1)&0xff == me && word&1 == 0 {
+			return ver, ver
+		}
+	}
+}
+
+// FlushCaches empties the CPU's caches and TLB (used by tests and by the
+// latency probe to construct known hierarchy states).
+func (c *CPU) FlushCaches() {
+	c.l1.Flush()
+	c.l2.Flush()
+	c.tlb.Flush()
+}
+
+// FlushL1 empties only the L1 cache (latency probe).
+func (c *CPU) FlushL1() { c.l1.Flush() }
+
+// FlushL1L2 empties both caches but keeps the TLB warm (latency probe).
+func (c *CPU) FlushL1L2() {
+	c.l1.Flush()
+	c.l2.Flush()
+}
+
+// CacheStats exposes hit/miss counters of the private caches.
+func (c *CPU) CacheStats() (l1Hits, l1Misses, l2Hits, l2Misses uint64) {
+	l1Hits, l1Misses = c.l1.Stats()
+	l2Hits, l2Misses = c.l2.Stats()
+	return
+}

@@ -1,0 +1,141 @@
+// Package memsys provides the building blocks of the simulated memory
+// hierarchy: set-associative caches, a TLB with generation-based shootdown,
+// the ccNUMA latency ladder of the paper's Table 1, and the memory-node
+// contention model. All times are integer picoseconds so that simulated
+// executions are exactly reproducible across hosts.
+package memsys
+
+import "fmt"
+
+// Cache is a set-associative, write-allocate cache with LRU replacement.
+// It tracks tags only (the simulator keeps array values in ordinary Go
+// memory); Access reports hit/miss and updates the replacement state.
+//
+// Tags are derived from virtual addresses. A virtually-indexed,
+// virtually-tagged cache means a page migration does not displace cached
+// lines; the migration cost and TLB shootdown are charged explicitly
+// elsewhere. DESIGN.md lists this as a documented simplification.
+type Cache struct {
+	lineShift uint
+	setMask   uint64
+	ways      int
+	tags      []uint64 // sets*ways, 0 means invalid, otherwise lineAddr+1
+	vers      []uint32 // coherence version captured when the line was filled
+	age       []uint64 // LRU timestamps, parallel to tags
+	tick      uint64
+
+	hits, misses uint64
+}
+
+// NewCache builds a cache of sizeBytes with lineBytes lines and the given
+// associativity. sizeBytes must be a multiple of lineBytes*ways and all
+// shape parameters must be powers of two.
+func NewCache(sizeBytes, lineBytes, ways int) (*Cache, error) {
+	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
+		return nil, fmt.Errorf("memsys: line size %d not a power of two", lineBytes)
+	}
+	if ways <= 0 {
+		return nil, fmt.Errorf("memsys: associativity %d invalid", ways)
+	}
+	if sizeBytes <= 0 || sizeBytes%(lineBytes*ways) != 0 {
+		return nil, fmt.Errorf("memsys: size %d not divisible by line*ways = %d", sizeBytes, lineBytes*ways)
+	}
+	sets := sizeBytes / (lineBytes * ways)
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("memsys: set count %d not a power of two", sets)
+	}
+	c := &Cache{
+		ways: ways,
+		tags: make([]uint64, sets*ways),
+		vers: make([]uint32, sets*ways),
+		age:  make([]uint64, sets*ways),
+	}
+	for lineBytes > 1 {
+		lineBytes >>= 1
+		c.lineShift++
+	}
+	c.setMask = uint64(sets - 1)
+	return c, nil
+}
+
+// MustCache is NewCache for statically known shapes.
+func MustCache(sizeBytes, lineBytes, ways int) *Cache {
+	c, err := NewCache(sizeBytes, lineBytes, ways)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Access looks up addr at coherence version ver, returns true on a hit,
+// and on a miss allocates the line (evicting the LRU way). A resident line
+// whose stored version differs from ver is a stale copy — another CPU
+// wrote the coherence unit since it was filled — and misses (the
+// invalidation a real protocol would have delivered). On both hit and
+// fill, the entry's version becomes newVer; a writer passes newVer > ver
+// so its own copy stays valid while every other cache's copy goes stale.
+func (c *Cache) Access(addr uint64, ver, newVer uint32) bool {
+	line := addr >> c.lineShift
+	set := int(line&c.setMask) * c.ways
+	tag := line + 1
+	c.tick++
+	for w := 0; w < c.ways; w++ {
+		if c.tags[set+w] == tag {
+			c.age[set+w] = c.tick
+			if c.vers[set+w] != ver {
+				// Stale: treat as an invalidation-induced miss and
+				// refill in place.
+				c.vers[set+w] = newVer
+				c.misses++
+				return false
+			}
+			c.vers[set+w] = newVer
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	victim := set
+	for w := 1; w < c.ways; w++ {
+		if c.age[set+w] < c.age[victim] {
+			victim = set + w
+		}
+	}
+	c.tags[victim] = tag
+	c.vers[victim] = newVer
+	c.age[victim] = c.tick
+	return false
+}
+
+// Contains reports whether addr is resident without disturbing LRU state.
+func (c *Cache) Contains(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := int(line&c.setMask) * c.ways
+	tag := line + 1
+	for w := 0; w < c.ways; w++ {
+		if c.tags[set+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates the whole cache.
+func (c *Cache) Flush() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.age[i] = 0
+	}
+}
+
+// LineBytes returns the line size in bytes.
+func (c *Cache) LineBytes() int { return 1 << c.lineShift }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return len(c.tags) / c.ways }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }

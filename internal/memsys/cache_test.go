@@ -1,0 +1,224 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCacheRejectsBadShapes(t *testing.T) {
+	cases := []struct{ size, line, ways int }{
+		{0, 32, 2}, {1024, 0, 2}, {1024, 33, 2}, {1024, 32, 0},
+		{1000, 32, 2}, {32 * 3 * 2, 32, 2}, // 3 sets: not a power of two
+	}
+	for _, c := range cases {
+		if _, err := NewCache(c.size, c.line, c.ways); err == nil {
+			t.Errorf("NewCache(%d,%d,%d) succeeded, want error", c.size, c.line, c.ways)
+		}
+	}
+}
+
+func TestCacheShape(t *testing.T) {
+	c := MustCache(32*1024, 32, 2)
+	if c.LineBytes() != 32 || c.Ways() != 2 || c.Sets() != 512 {
+		t.Errorf("shape = %d/%d/%d, want 32/2/512", c.LineBytes(), c.Ways(), c.Sets())
+	}
+}
+
+func TestCacheMissThenHit(t *testing.T) {
+	c := MustCache(1024, 32, 2)
+	if c.Access(0x1000, 0, 0) {
+		t.Error("first access hit")
+	}
+	if !c.Access(0x1000, 0, 0) {
+		t.Error("second access missed")
+	}
+	if !c.Access(0x101f, 0, 0) {
+		t.Error("same-line access missed")
+	}
+	if c.Access(0x1020, 0, 0) {
+		t.Error("next-line access hit")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2 ways, line 32, size 128 -> 2 sets. Set 0 holds lines with even
+	// line index.
+	c := MustCache(128, 32, 2)
+	a, b, d := uint64(0), uint64(128), uint64(256) // all map to set 0
+	c.Access(a, 0, 0)
+	c.Access(b, 0, 0)
+	c.Access(a, 0, 0) // a is MRU
+	c.Access(d, 0, 0) // evicts b
+	if !c.Contains(a) {
+		t.Error("a evicted, want kept (MRU)")
+	}
+	if c.Contains(b) {
+		t.Error("b kept, want evicted (LRU)")
+	}
+	if !c.Contains(d) {
+		t.Error("d not inserted")
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := MustCache(1024, 32, 2)
+	c.Access(64, 0, 0)
+	c.Flush()
+	if c.Contains(64) {
+		t.Error("line survived Flush")
+	}
+}
+
+func TestCacheStats(t *testing.T) {
+	c := MustCache(1024, 32, 2)
+	c.Access(0, 0, 0)
+	c.Access(0, 0, 0)
+	c.Access(32, 0, 0)
+	h, m := c.Stats()
+	if h != 1 || m != 2 {
+		t.Errorf("stats = %d hits/%d misses, want 1/2", h, m)
+	}
+}
+
+// Property: immediately after any access, the line is resident.
+func TestCacheAccessMakesResident(t *testing.T) {
+	c := MustCache(4096, 128, 4)
+	f := func(addr uint64) bool {
+		c.Access(addr, 0, 0)
+		return c.Contains(addr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a working set no larger than the associativity within one set
+// never misses after the first touch (LRU guarantees this).
+func TestCacheNoThrashWithinAssociativity(t *testing.T) {
+	c := MustCache(1024, 32, 4)         // 8 sets, 4 ways
+	addrs := []uint64{0, 256, 512, 768} // all set 0
+	for _, a := range addrs {
+		c.Access(a, 0, 0)
+	}
+	for round := 0; round < 10; round++ {
+		for _, a := range addrs {
+			if !c.Access(a, 0, 0) {
+				t.Fatalf("round %d: address %#x missed", round, a)
+			}
+		}
+	}
+}
+
+func TestTLBLookupInsert(t *testing.T) {
+	tlb := MustTLB(64, 8)
+	if tlb.Lookup(7, 0) {
+		t.Error("empty TLB hit")
+	}
+	tlb.Insert(7, 0)
+	if !tlb.Lookup(7, 0) {
+		t.Error("inserted vpn missed")
+	}
+}
+
+func TestTLBGenerationShootdown(t *testing.T) {
+	tlb := MustTLB(64, 8)
+	tlb.Insert(7, 0)
+	if tlb.Lookup(7, 1) {
+		t.Error("stale-generation entry hit; shootdown not applied")
+	}
+	// The stale entry must have been dropped: even the old generation
+	// misses now.
+	if tlb.Lookup(7, 0) {
+		t.Error("stale entry survived generation mismatch")
+	}
+	tlb.Insert(7, 1)
+	if !tlb.Lookup(7, 1) {
+		t.Error("reinserted entry missed")
+	}
+}
+
+func TestTLBEvictionLRU(t *testing.T) {
+	tlb := MustTLB(2, 2) // one set, two ways
+	tlb.Insert(1, 0)
+	tlb.Insert(2, 0)
+	tlb.Lookup(1, 0) // 1 becomes MRU
+	tlb.Insert(3, 0) // evicts 2
+	if !tlb.Lookup(1, 0) {
+		t.Error("MRU entry evicted")
+	}
+	if tlb.Lookup(2, 0) {
+		t.Error("LRU entry kept")
+	}
+}
+
+func TestTLBFlush(t *testing.T) {
+	tlb := MustTLB(64, 8)
+	tlb.Insert(3, 0)
+	tlb.Flush()
+	if tlb.Lookup(3, 0) {
+		t.Error("entry survived Flush")
+	}
+}
+
+func TestTLBRejectsBadShapes(t *testing.T) {
+	for _, c := range []struct{ e, w int }{{0, 1}, {8, 0}, {8, 3}, {24, 8}} {
+		if _, err := NewTLB(c.e, c.w); err == nil {
+			t.Errorf("NewTLB(%d,%d) succeeded, want error", c.e, c.w)
+		}
+	}
+}
+
+func TestTLBEntriesAndStats(t *testing.T) {
+	tlb := MustTLB(64, 8)
+	if tlb.Entries() != 64 {
+		t.Errorf("Entries = %d, want 64", tlb.Entries())
+	}
+	tlb.Lookup(1, 0) // miss
+	tlb.Insert(1, 0)
+	tlb.Lookup(1, 0) // hit
+	h, m := tlb.Stats()
+	if h != 1 || m != 1 {
+		t.Errorf("stats = %d/%d, want 1/1", h, m)
+	}
+}
+
+func TestMustTLBPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTLB(3,2) did not panic")
+		}
+	}()
+	MustTLB(3, 2)
+}
+
+func TestMustCachePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCache bad shape did not panic")
+		}
+	}()
+	MustCache(100, 32, 2)
+}
+
+// Property: a stale-version hit refills in place, so the immediately
+// following access at the new version hits.
+func TestCacheStaleRefill(t *testing.T) {
+	c := MustCache(1024, 32, 2)
+	c.Access(64, 0, 0)
+	if c.Access(64, 1, 1) {
+		t.Fatal("stale copy hit")
+	}
+	if !c.Access(64, 1, 1) {
+		t.Error("refilled copy missed")
+	}
+}
+
+// A writer's own refill must stay valid for itself: fill with newVer >
+// ver, then access at newVer.
+func TestCacheWriterKeepsOwnCopy(t *testing.T) {
+	c := MustCache(1024, 32, 2)
+	c.Access(64, 3, 4) // write path: validate at 3, stamp 4
+	if !c.Access(64, 4, 4) {
+		t.Error("writer's own copy went stale")
+	}
+}

@@ -1,0 +1,98 @@
+package memsys
+
+// Pico is one picosecond; all simulator times are int64 picoseconds.
+const (
+	Pico        int64 = 1
+	Nano              = 1000 * Pico
+	Micro             = 1000 * Nano
+	Milli             = 1000 * Micro
+	SecondPicos       = 1000 * Milli
+)
+
+// Latency holds every timing constant of the simulated machine. The memory
+// ladder reproduces Table 1 of the paper (contended access latency on a
+// 16-processor Origin2000); the system-software costs are set to
+// Origin2000/IRIX magnitudes discussed in the paper and its references.
+type Latency struct {
+	// Core.
+	FlopCost int64 // charged per floating-point operation by kernels
+	L1Hit    int64 // load-to-use on an L1 hit
+	L2Hit    int64 // additional cost of an L2 hit (L1 miss)
+
+	// Memory ladder: MemByHops[h] is the cost of an L2 miss served by a
+	// memory h hops away. Distances beyond the table extrapolate by
+	// ExtraHop per hop.
+	MemByHops []int64
+	ExtraHop  int64
+
+	// Virtual memory.
+	TLBRefill int64 // software-reload cost of a TLB miss
+	PageFault int64 // first-access fault: zero-fill + placement decision
+
+	// Page migration: fixed kernel work per migration, a per-byte copy
+	// cost, and a per-processor TLB shootdown interrupt cost.
+	// MigratePageBatched is the much smaller fixed per-page cost inside a
+	// batched range migration (one syscall migrating many pages, as the
+	// IRIX memory-locality-domain interface offers to user level).
+	MigratePage        int64
+	MigratePageBatched int64
+	MigrateBytePS      int64
+	ShootdownPerCPU    int64
+
+	// Runtime (fork/join and barrier management).
+	Fork          int64 // charged to every worker when a team is forked
+	BarrierBase   int64
+	BarrierPerCPU int64
+
+	// Contention: per-access occupancy of a memory node (directory +
+	// DRAM service for one cache line).
+	MemService int64
+}
+
+// Origin2000 returns the latency model of the machine evaluated in the
+// paper: 250 MHz R10000, Table 1 ladder (5.5 ns L1, 56.9 ns L2, 329 ns
+// local, 564/759/862 ns at 1/2/3 hops).
+func Origin2000() Latency {
+	return Latency{
+		FlopCost:           2 * Nano, // 250 MHz, ~2 cycles sustained per flop
+		L1Hit:              5*Nano + 500*Pico,
+		L2Hit:              56*Nano + 900*Pico,
+		MemByHops:          []int64{329 * Nano, 564 * Nano, 759 * Nano, 862 * Nano},
+		ExtraHop:           100 * Nano,
+		TLBRefill:          500 * Nano,
+		PageFault:          25 * Micro,
+		MigratePage:        8 * Micro,
+		MigratePageBatched: 1500 * Nano,
+		MigrateBytePS:      1250 * Pico, // ~800 MB/s page copy
+		ShootdownPerCPU:    1500 * Nano,
+		Fork:               4 * Micro,
+		BarrierBase:        3 * Micro,
+		BarrierPerCPU:      250 * Nano,
+		MemService:         155 * Nano, // ~128-byte line at ~800 MB/s per node
+	}
+}
+
+// MemLatency returns the cost of an L2 miss served hops router hops away.
+func (l Latency) MemLatency(hops int) int64 {
+	if hops < len(l.MemByHops) {
+		return l.MemByHops[hops]
+	}
+	last := len(l.MemByHops) - 1
+	return l.MemByHops[last] + int64(hops-last)*l.ExtraHop
+}
+
+// ScaleRemote returns a copy of l with every remote (hops >= 1) memory
+// latency scaled by num/den, keeping the local latency fixed. The ablation
+// benches use this to emulate ccNUMA machines with higher remote:local
+// ratios, which the paper predicts are more placement-sensitive.
+func (l Latency) ScaleRemote(num, den int64) Latency {
+	ladder := make([]int64, len(l.MemByHops))
+	copy(ladder, l.MemByHops)
+	local := ladder[0]
+	for i := 1; i < len(ladder); i++ {
+		ladder[i] = local + (ladder[i]-local)*num/den
+	}
+	l.MemByHops = ladder
+	l.ExtraHop = l.ExtraHop * num / den
+	return l
+}

@@ -1,0 +1,172 @@
+package bt
+
+import (
+	"math"
+	"testing"
+
+	"upmgo/internal/machine"
+	"upmgo/internal/nas"
+	"upmgo/internal/omp"
+	"upmgo/internal/vm"
+)
+
+func mkBT(t *testing.T) (*machine.Machine, *BT, *omp.Team) {
+	t.Helper()
+	mc := machine.DefaultConfig()
+	nas.ClassS.MachineTweak(&mc)
+	m := machine.MustNew(mc)
+	b := New(m, nas.ClassS, 1, 0).(*BT)
+	return m, b, omp.MustTeam(m, m.NumCPUs())
+}
+
+func TestResidualDecreasesMonotonically(t *testing.T) {
+	_, b, team := mkBT(t)
+	prev := b.ResidualNorm()
+	if prev == 0 {
+		t.Fatal("initial residual is zero; nothing to solve")
+	}
+	for s := 0; s < 5; s++ {
+		b.Step(team, nil)
+		res := b.ResidualNorm()
+		if math.IsNaN(res) || res >= prev {
+			t.Fatalf("step %d: residual %g did not decrease from %g", s+1, res, prev)
+		}
+		prev = res
+	}
+}
+
+func TestConvergesToManufacturedSolution(t *testing.T) {
+	_, b, team := mkBT(t)
+	e0 := b.ErrorNorm()
+	for s := 0; s < 12; s++ {
+		b.Step(team, nil)
+	}
+	e := b.ErrorNorm()
+	if e >= 0.1*e0 {
+		t.Errorf("error %g after 12 steps, want < 10%% of initial %g", e, e0)
+	}
+	if err := b.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestVerifyFailsWithoutIterations(t *testing.T) {
+	_, b, _ := mkBT(t)
+	if err := b.Verify(); err == nil {
+		t.Error("Verify passed on the initial state")
+	}
+}
+
+func TestReinitRestoresInitialState(t *testing.T) {
+	_, b, team := mkBT(t)
+	b.Step(team, nil)
+	b.Reinit()
+	for i, v := range b.u.Data() {
+		if v != 0 {
+			t.Fatalf("u[%d] = %g after Reinit, want 0", i, v)
+		}
+	}
+}
+
+func TestStepResultIndependentOfPlacement(t *testing.T) {
+	// Placement affects time, never values.
+	run := func(p vm.Policy) float64 {
+		mc := machine.DefaultConfig()
+		nas.ClassS.MachineTweak(&mc)
+		mc.Placement = p
+		m := machine.MustNew(mc)
+		b := New(m, nas.ClassS, 1, 0).(*BT)
+		team := omp.MustTeam(m, m.NumCPUs())
+		for s := 0; s < 3; s++ {
+			b.Step(team, nil)
+		}
+		return b.ResidualNorm()
+	}
+	ft, wc := run(vm.FirstTouch), run(vm.WorstCase)
+	if ft != wc {
+		t.Errorf("residual depends on placement: ft %g vs wc %g", ft, wc)
+	}
+}
+
+func TestHotPagesCoverThreeArrays(t *testing.T) {
+	_, b, _ := mkBT(t)
+	hp := b.HotPages()
+	if len(hp) != 3 {
+		t.Fatalf("HotPages returned %d ranges, want 3 (u, rhs, forcing)", len(hp))
+	}
+	for _, r := range hp {
+		if r[1] <= r[0] {
+			t.Errorf("empty hot range %v", r)
+		}
+	}
+}
+
+func TestZSolvePhaseHooksFire(t *testing.T) {
+	_, b, team := mkBT(t)
+	var entered, exited int
+	h := &nas.Hooks{
+		BeforePhase: func(c *machine.CPU) { entered++ },
+		AfterPhase:  func(c *machine.CPU) { exited++ },
+	}
+	b.Step(team, h)
+	if entered != 1 || exited != 1 {
+		t.Errorf("phase hooks fired %d/%d times, want 1/1", entered, exited)
+	}
+}
+
+func TestComputeScaleMultipliesWork(t *testing.T) {
+	mc := machine.DefaultConfig()
+	nas.ClassS.MachineTweak(&mc)
+	m1 := machine.MustNew(mc)
+	b1 := New(m1, nas.ClassS, 1, 0).(*BT)
+	t1 := omp.MustTeam(m1, m1.NumCPUs())
+	b1.Step(t1, nil)
+	d1 := t1.Master().Now()
+
+	m4 := machine.MustNew(mc)
+	b4 := New(m4, nas.ClassS, 4, 0).(*BT)
+	t4 := omp.MustTeam(m4, m4.NumCPUs())
+	b4.Step(t4, nil)
+	d4 := t4.Master().Now()
+
+	if d4 < 2*d1 {
+		t.Errorf("scale=4 step took %d ps vs %d at scale=1; want clearly more", d4, d1)
+	}
+}
+
+func TestZSolveIsRemoteHeavyUnderFirstTouch(t *testing.T) {
+	// After a first-touch cold start, x/y phases are mostly local but
+	// z_solve crosses every thread's pages: its remote ratio must be
+	// substantially higher. This is the phase change the paper exploits.
+	mc := machine.DefaultConfig()
+	nas.ClassW.MachineTweak(&mc)
+	m := machine.MustNew(mc)
+	b := New(m, nas.ClassW, 1, 0).(*BT)
+	team := omp.MustTeam(m, m.NumCPUs())
+	team.SetSerial(true)
+	b.InitTouch(team)
+	b.Step(team, nil) // cold start: establish first-touch placement
+	team.SetSerial(false)
+	b.Reinit()
+
+	before := m.Stats()
+	b.computeRHS(team)
+	b.xSolve(team)
+	b.ySolve(team)
+	mid := m.Stats()
+	b.zSolve(team)
+	after := m.Stats()
+
+	xyRemote := ratio(mid.RemoteMem-before.RemoteMem, mid.LocalMem-before.LocalMem)
+	zRemote := ratio(after.RemoteMem-mid.RemoteMem, after.LocalMem-mid.LocalMem)
+	if zRemote < xyRemote+0.2 {
+		t.Errorf("z_solve remote ratio %.2f vs x/y %.2f; expected a clear phase change", zRemote, xyRemote)
+	}
+}
+
+func ratio(rem, loc uint64) float64 {
+	if rem+loc == 0 {
+		return 0
+	}
+	return float64(rem) / float64(rem+loc)
+}

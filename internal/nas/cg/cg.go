@@ -1,0 +1,395 @@
+// Package cg reproduces NAS CG: estimating the smallest eigenvalue of a
+// large sparse symmetric positive-definite matrix with inverse power
+// iteration, where each outer step solves A z = x by conjugate gradient.
+// The memory signature is the one the paper discusses: the CSR matrix is
+// row-partitioned (local under tuned first-touch), while the gather
+// x[colidx[k]] in the sparse mat-vec scatters reads across every node's
+// pages irrespective of placement.
+//
+// The matrix is a randomly sparsified symmetric diagonally-dominant
+// matrix built from a seeded generator (NAS's makea also builds a random
+// sparse SPD matrix); CG therefore converges provably and Verify checks
+// the true residual of the final solve plus the stability of the
+// eigenvalue estimate.
+package cg
+
+import (
+	"fmt"
+	"math"
+
+	"upmgo/internal/machine"
+	"upmgo/internal/nas"
+	"upmgo/internal/omp"
+)
+
+// CG is one problem instance.
+type CG struct {
+	m      *machine.Machine
+	n      int // matrix order
+	nonzer int // off-diagonal nonzeros per row (approximate)
+	outer  int // outer power-iteration steps (the timed iterations)
+	inner  int // CG steps per outer iteration
+	shift  float64
+	scale  int
+
+	rowstr *machine.IntArray // CSR row starts, len n+1
+	colidx *machine.IntArray // CSR column indices
+	a      *machine.Array    // CSR values
+	x      *machine.Array    // current eigenvector estimate
+	z      *machine.Array    // CG solution
+	p, q   *machine.Array    // CG direction and A*p
+	r      *machine.Array    // CG residual
+
+	zeta     float64
+	zetaPrev float64
+
+	// host-side copies for verification
+	valsH []float64
+	colH  []int32
+	rowH  []int32
+	xPrev []float64 // x before the last CG solve (the solve's rhs)
+}
+
+// New builds a CG instance. It satisfies nas.Builder.
+func New(m *machine.Machine, class nas.Class, scale int, seed uint64) nas.Kernel {
+	n, nonzer, outer, inner := 700, 8, 4, 10
+	switch class {
+	case nas.ClassW:
+		n, nonzer, outer, inner = 4000, 10, 8, 12
+	case nas.ClassA:
+		n, nonzer, outer, inner = 14000, 11, 15, 25
+	}
+	c := &CG{m: m, n: n, nonzer: nonzer, outer: outer, inner: inner, shift: 20, scale: scale}
+	c.build(seed)
+	c.Reinit()
+	return c
+}
+
+// Name returns "CG".
+func (c *CG) Name() string { return "CG" }
+
+// DefaultIterations returns the outer step count.
+func (c *CG) DefaultIterations() int { return c.outer }
+
+// HasPhase reports no record–replay phase (CG has a uniform pattern).
+func (c *CG) HasPhase() bool { return false }
+
+// HotPages returns the spans of every shared array involved in the solve.
+func (c *CG) HotPages() [][2]uint64 {
+	var out [][2]uint64
+	add := func(lo, hi uint64) { out = append(out, [2]uint64{lo, hi}) }
+	add(c.a.PageRange())
+	add(c.colidx.PageRange())
+	add(c.x.PageRange())
+	add(c.z.PageRange())
+	add(c.p.PageRange())
+	add(c.q.PageRange())
+	add(c.r.PageRange())
+	return out
+}
+
+// rng is a splitmix64 stream.
+type rng struct{ s uint64 }
+
+func (g *rng) next() uint64 {
+	g.s += 0x9e3779b97f4a7c15
+	z := g.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (g *rng) float() float64 { return float64(g.next()>>11) / float64(1<<53) }
+
+func (g *rng) intn(n int) int { return int(g.next() % uint64(n)) }
+
+// build constructs the sparse SPD matrix in CSR form: for each row i,
+// nonzer random off-diagonal entries (symmetrised by construction of the
+// pattern per row pair) with small positive weights, and a diagonal that
+// strictly dominates the row, shifted by the eigenvalue shift.
+func (c *CG) build(seed uint64) {
+	g := rng{s: seed*2654435761 + 12345}
+	n := c.n
+	// Build the symmetric pattern host-side first.
+	adj := make([]map[int]float64, n)
+	for i := range adj {
+		adj[i] = make(map[int]float64, c.nonzer*2)
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < c.nonzer; k++ {
+			j := g.intn(n)
+			if j == i {
+				continue
+			}
+			w := -g.float() // negative off-diagonals: an M-matrix
+			adj[i][j] = w
+			adj[j][i] = w
+		}
+	}
+	nnz := n // diagonals
+	for i := range adj {
+		nnz += len(adj[i])
+	}
+	c.rowstr = c.m.NewIntArray("rowstr", n+1)
+	c.colidx = c.m.NewIntArray("colidx", nnz)
+	c.a = c.m.NewArray("a", nnz)
+	c.x = c.m.NewArray("x", n)
+	c.z = c.m.NewArray("z", n)
+	c.p = c.m.NewArray("p", n)
+	c.q = c.m.NewArray("q", n)
+	c.r = c.m.NewArray("r", n)
+
+	rowH := c.rowstr.Data()
+	colH := c.colidx.Data()
+	vals := c.a.Data()
+	pos := 0
+	for i := 0; i < n; i++ {
+		rowH[i] = int32(pos)
+		var rowSum float64
+		// Deterministic column order: ascending.
+		cols := make([]int, 0, len(adj[i])+1)
+		for j := range adj[i] {
+			cols = append(cols, j)
+		}
+		sortInts(cols)
+		diagAt := -1
+		for _, j := range cols {
+			if j > i && diagAt < 0 {
+				diagAt = pos
+				pos++ // reserve diagonal slot
+			}
+			colH[pos] = int32(j)
+			vals[pos] = adj[i][j]
+			rowSum += math.Abs(adj[i][j])
+			pos++
+		}
+		if diagAt < 0 {
+			diagAt = pos
+			pos++
+		}
+		colH[diagAt] = int32(i)
+		vals[diagAt] = rowSum + 1 // strict diagonal dominance: SPD
+		rowH[i+1] = int32(pos)
+	}
+	rowH[n] = int32(pos)
+	c.valsH = vals
+	c.colH = colH
+	c.rowH = rowH
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// Reinit restores the initial eigenvector estimate.
+func (c *CG) Reinit() {
+	x := c.x.Data()
+	for i := range x {
+		x[i] = 1
+	}
+	clear(c.z.Data())
+	clear(c.p.Data())
+	clear(c.q.Data())
+	clear(c.r.Data())
+	c.zeta, c.zetaPrev = 0, math.Inf(1)
+}
+
+// InitTouch writes every array with the row partitioning of the solve
+// loops (NAS CG's makea and initialisation loops are parallel).
+func (c *CG) InitTouch(t *omp.Team) {
+	n := c.n
+	rowH := c.rowH
+	valsH := c.valsH
+	colH := c.colH
+	t.Parallel(func(tr *omp.Thread) {
+		tr.For(0, n, omp.Static(), func(cpu *machine.CPU, from, to int) {
+			for i := from; i < to; i++ {
+				c.x.Set(cpu, i, 1)
+				c.z.Set(cpu, i, 0)
+				c.p.Set(cpu, i, 0)
+				c.q.Set(cpu, i, 0)
+				c.r.Set(cpu, i, 0)
+				c.rowstr.Set(cpu, i, rowH[i])
+				for k := int(rowH[i]); k < int(rowH[i+1]); k++ {
+					c.a.Set(cpu, k, valsH[k])
+					c.colidx.Set(cpu, k, colH[k])
+				}
+			}
+		})
+	})
+}
+
+// Step performs one outer power-iteration step: solve A z = x with CG,
+// update zeta and renormalise x (NAS CG's timed iteration).
+func (c *CG) Step(t *omp.Team, h *nas.Hooks) {
+	c.xPrev = append(c.xPrev[:0], c.x.Data()...) // rhs of this solve (host copy)
+	for s := 0; s < c.scale; s++ {
+		c.conjGrad(t)
+	}
+	// zeta and normalisation.
+	n := c.n
+	var xz float64
+	t.Parallel(func(tr *omp.Thread) {
+		var sxz, szz float64
+		tr.For(0, n, omp.Static(), func(cpu *machine.CPU, from, to int) {
+			for i := from; i < to; i++ {
+				zi := c.z.Get(cpu, i)
+				sxz += c.x.Get(cpu, i) * zi
+				szz += zi * zi
+			}
+			cpu.Flops(4 * (to - from))
+		}, omp.Nowait)
+		sxz = tr.ReduceSum(sxz)
+		szz = tr.ReduceSum(szz)
+		if tr.ID == 0 {
+			xz = sxz
+		}
+		norm := 1 / math.Sqrt(szz)
+		tr.For(0, n, omp.Static(), func(cpu *machine.CPU, from, to int) {
+			for i := from; i < to; i++ {
+				c.x.Set(cpu, i, c.z.Get(cpu, i)*norm)
+			}
+			cpu.Flops(to - from)
+		})
+	})
+	c.zetaPrev = c.zeta
+	c.zeta = c.shift + 1/xz
+}
+
+// conjGrad runs c.inner CG steps on A z = x starting from z = 0.
+func (c *CG) conjGrad(t *omp.Team) {
+	n := c.n
+	var rho float64
+	t.Parallel(func(tr *omp.Thread) {
+		// z = 0, r = x, p = r.
+		var s float64
+		tr.For(0, n, omp.Static(), func(cpu *machine.CPU, from, to int) {
+			for i := from; i < to; i++ {
+				xi := c.x.Get(cpu, i)
+				c.z.Set(cpu, i, 0)
+				c.r.Set(cpu, i, xi)
+				c.p.Set(cpu, i, xi)
+				s += xi * xi
+			}
+			cpu.Flops(2 * (to - from))
+		}, omp.Nowait)
+		s = tr.ReduceSum(s)
+		if tr.ID == 0 {
+			rho = s
+		}
+		tr.Barrier()
+
+		for it := 0; it < c.inner; it++ {
+			// q = A p.
+			var pq float64
+			tr.For(0, n, omp.Static(), func(cpu *machine.CPU, from, to int) {
+				for i := from; i < to; i++ {
+					lo := int(c.rowstr.Get(cpu, i))
+					hi := int(c.rowstr.Get(cpu, i+1))
+					var sum float64
+					for k := lo; k < hi; k++ {
+						sum += c.a.Get(cpu, k) * c.p.Get(cpu, int(c.colidx.Get(cpu, k)))
+					}
+					c.q.Set(cpu, i, sum)
+					pq += c.p.Get(cpu, i) * sum
+					cpu.Flops(2 * (hi - lo))
+				}
+			}, omp.Nowait)
+			pq = tr.ReduceSum(pq)
+			alpha := rho / pq
+
+			// z += alpha p; r -= alpha q; rhoNew = r.r.
+			var rr float64
+			tr.For(0, n, omp.Static(), func(cpu *machine.CPU, from, to int) {
+				for i := from; i < to; i++ {
+					c.z.Add(cpu, i, alpha*c.p.Get(cpu, i))
+					ri := c.r.Get(cpu, i) - alpha*c.q.Get(cpu, i)
+					c.r.Set(cpu, i, ri)
+					rr += ri * ri
+				}
+				cpu.Flops(6 * (to - from))
+			}, omp.Nowait)
+			rr = tr.ReduceSum(rr)
+			beta := rr / rho
+
+			// p = r + beta p.
+			tr.For(0, n, omp.Static(), func(cpu *machine.CPU, from, to int) {
+				for i := from; i < to; i++ {
+					c.p.Set(cpu, i, c.r.Get(cpu, i)+beta*c.p.Get(cpu, i))
+				}
+				cpu.Flops(2 * (to - from))
+			})
+			if tr.ID == 0 {
+				rho = rr
+			}
+			tr.Barrier()
+		}
+	})
+}
+
+// Zeta returns the current eigenvalue estimate.
+func (c *CG) Zeta() float64 { return c.zeta }
+
+// SolveResidual returns the relative residual ||A z - x_prev|| / ||x_prev||
+// of the most recent CG solve, computed on the host.
+func (c *CG) SolveResidual() float64 {
+	if c.xPrev == nil {
+		return math.Inf(1)
+	}
+	n := c.n
+	z := c.z.Data()
+	var num, den float64
+	for i := 0; i < n; i++ {
+		var s float64
+		for k := c.rowH[i]; k < c.rowH[i+1]; k++ {
+			s += c.valsH[k] * z[c.colH[k]]
+		}
+		d := s - c.xPrev[i]
+		num += d * d
+		den += c.xPrev[i] * c.xPrev[i]
+	}
+	return math.Sqrt(num / den)
+}
+
+// Verify checks that the final CG solve genuinely solved A z = x_prev and
+// that the eigenvalue estimate stabilised and lies in the Gershgorin range
+// of the shifted matrix.
+func (c *CG) Verify() error {
+	res := c.SolveResidual()
+	if math.IsNaN(res) || res > 1e-6 {
+		return fmt.Errorf("cg: final solve residual %g, want <= 1e-6", res)
+	}
+	if math.Abs(c.zeta-c.zetaPrev) > 1e-2*math.Abs(c.zeta) {
+		return fmt.Errorf("cg: zeta did not stabilise: %g vs %g", c.zeta, c.zetaPrev)
+	}
+	// zeta - shift = 1/(x.z) must lie within the Gershgorin spectrum of A
+	// (x is unit-norm, z = A^-1 x, so 1/(x.z) is between the extreme
+	// eigenvalues).
+	lo, hi := c.gershgorin()
+	if est := c.zeta - c.shift; est < lo-1e-9 || est > hi+1e-9 {
+		return fmt.Errorf("cg: zeta-shift = %g outside the Gershgorin range [%g, %g]", est, lo, hi)
+	}
+	return nil
+}
+
+// gershgorin returns the Gershgorin eigenvalue bounds of A.
+func (c *CG) gershgorin() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i := 0; i < c.n; i++ {
+		var diag, off float64
+		for k := c.rowH[i]; k < c.rowH[i+1]; k++ {
+			if int(c.colH[k]) == i {
+				diag = c.valsH[k]
+			} else {
+				off += math.Abs(c.valsH[k])
+			}
+		}
+		lo = math.Min(lo, diag-off)
+		hi = math.Max(hi, diag+off)
+	}
+	return lo, hi
+}

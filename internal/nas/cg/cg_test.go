@@ -1,0 +1,168 @@
+package cg
+
+import (
+	"math"
+	"testing"
+
+	"upmgo/internal/machine"
+	"upmgo/internal/nas"
+	"upmgo/internal/omp"
+	"upmgo/internal/vm"
+)
+
+func mkCG(t *testing.T) (*machine.Machine, *CG, *omp.Team) {
+	t.Helper()
+	mc := machine.DefaultConfig()
+	nas.ClassS.MachineTweak(&mc)
+	m := machine.MustNew(mc)
+	c := New(m, nas.ClassS, 1, 7).(*CG)
+	return m, c, omp.MustTeam(m, m.NumCPUs())
+}
+
+func TestMatrixIsSymmetricAndDominant(t *testing.T) {
+	_, c, _ := mkCG(t)
+	// Rebuild a dense map and check A[i][j] == A[j][i] and dominance.
+	entries := make(map[[2]int]float64)
+	for i := 0; i < c.n; i++ {
+		var diag, off float64
+		for k := c.rowH[i]; k < c.rowH[i+1]; k++ {
+			j := int(c.colH[k])
+			entries[[2]int{i, j}] = c.valsH[k]
+			if j == i {
+				diag = c.valsH[k]
+			} else {
+				off += math.Abs(c.valsH[k])
+			}
+		}
+		if diag <= off {
+			t.Fatalf("row %d not strictly dominant: diag %g vs off %g", i, diag, off)
+		}
+	}
+	for ij, v := range entries {
+		if w, ok := entries[[2]int{ij[1], ij[0]}]; !ok || w != v {
+			t.Fatalf("asymmetry at %v: %g vs %g", ij, v, w)
+		}
+	}
+}
+
+func TestCSRRowsSortedAndSelfConsistent(t *testing.T) {
+	_, c, _ := mkCG(t)
+	for i := 0; i < c.n; i++ {
+		prev := -1
+		for k := c.rowH[i]; k < c.rowH[i+1]; k++ {
+			j := int(c.colH[k])
+			if j <= prev {
+				t.Fatalf("row %d columns not strictly ascending at k=%d", i, k)
+			}
+			if j < 0 || j >= c.n {
+				t.Fatalf("row %d column %d out of range", i, j)
+			}
+			prev = j
+		}
+	}
+	if int(c.rowH[c.n]) != c.a.Len() {
+		t.Errorf("rowstr[n] = %d, want nnz %d", c.rowH[c.n], c.a.Len())
+	}
+}
+
+func TestCGSolvesSystem(t *testing.T) {
+	_, c, team := mkCG(t)
+	c.Step(team, nil)
+	if res := c.SolveResidual(); res > 1e-8 {
+		t.Errorf("CG residual %g after one outer step, want tiny (well-conditioned matrix)", res)
+	}
+}
+
+func TestZetaConvergesIntoSpectrum(t *testing.T) {
+	_, c, team := mkCG(t)
+	for i := 0; i < c.DefaultIterations(); i++ {
+		c.Step(team, nil)
+	}
+	lo, hi := c.gershgorin()
+	if est := c.Zeta() - c.shift; est < lo || est > hi {
+		t.Errorf("zeta-shift %g outside spectrum bounds [%g,%g]", est, lo, hi)
+	}
+	if err := c.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestDeterministicAcrossSeedsAndPlacements(t *testing.T) {
+	run := func(p vm.Policy) float64 {
+		mc := machine.DefaultConfig()
+		nas.ClassS.MachineTweak(&mc)
+		mc.Placement = p
+		m := machine.MustNew(mc)
+		c := New(m, nas.ClassS, 1, 7).(*CG)
+		team := omp.MustTeam(m, m.NumCPUs())
+		for i := 0; i < 3; i++ {
+			c.Step(team, nil)
+		}
+		return c.Zeta()
+	}
+	if a, b := run(vm.FirstTouch), run(vm.WorstCase); a != b {
+		t.Errorf("zeta depends on placement: %v vs %v", a, b)
+	}
+}
+
+func TestSeedChangesMatrix(t *testing.T) {
+	mc := machine.DefaultConfig()
+	nas.ClassS.MachineTweak(&mc)
+	m1 := machine.MustNew(mc)
+	c1 := New(m1, nas.ClassS, 1, 1).(*CG)
+	m2 := machine.MustNew(mc)
+	c2 := New(m2, nas.ClassS, 1, 2).(*CG)
+	if c1.a.Len() == c2.a.Len() {
+		same := true
+		for i := range c1.valsH {
+			if c1.valsH[i] != c2.valsH[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical matrices")
+		}
+	}
+}
+
+func TestHotPagesCoverSolveArrays(t *testing.T) {
+	_, c, _ := mkCG(t)
+	if got := len(c.HotPages()); got != 7 {
+		t.Errorf("HotPages = %d ranges, want 7", got)
+	}
+}
+
+func TestGatherTrafficIsRemoteHeavyEvenUnderFirstTouch(t *testing.T) {
+	// The sparse matvec's x[colidx[k]] gather reads pages of x owned by
+	// every node; under first-touch the overall remote ratio of CG should
+	// therefore sit clearly above the BT-style stencil codes' x/y phases.
+	m, c, team := mkCG(t)
+	team.SetSerial(true)
+	c.InitTouch(team)
+	team.SetSerial(false)
+	c.Step(team, nil)
+	s := m.Stats()
+	if s.RemoteMem == 0 {
+		t.Fatal("no remote traffic at all")
+	}
+	if r := s.RemoteRatio(); r < 0.2 {
+		t.Errorf("remote ratio %.2f; the gather should produce substantial remote traffic", r)
+	}
+}
+
+func TestDriverEndToEnd(t *testing.T) {
+	r, err := nas.Run(New, nas.Config{Class: nas.ClassS, Placement: vm.RoundRobin, UPM: nas.UPMDistribute, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Verified {
+		t.Errorf("CG run failed verification: %v", r.VerifyErr)
+	}
+}
+
+func TestRecRepRejected(t *testing.T) {
+	if _, err := nas.Run(New, nas.Config{Class: nas.ClassS, UPM: nas.UPMRecRep}); err == nil {
+		t.Error("record-replay accepted for the phaseless CG")
+	}
+}

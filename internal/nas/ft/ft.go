@@ -1,0 +1,319 @@
+// Package ft reproduces NAS FT: 3-D fast Fourier transforms driving a
+// spectral PDE integrator. Each timed iteration transforms the field to
+// frequency space (x, y, then z passes of radix-2 FFTs), applies a
+// unit-modulus evolution factor per mode, transforms back, and reduces a
+// checksum. The x and y passes parallelise over z-planes (local under
+// tuned first-touch); the z pass parallelises over y and walks lines that
+// cross every thread's pages — the transpose-like all-to-all pattern that
+// makes FT the most placement-hostile NAS code, and the one where the
+// paper observed kernel page migration to be counter-productive
+// (page-level false sharing).
+//
+// The evolution factors have modulus one, so the field's energy is exactly
+// conserved across any number of iterations (Parseval); Verify checks it.
+package ft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+
+	"upmgo/internal/machine"
+	"upmgo/internal/nas"
+	"upmgo/internal/omp"
+)
+
+// FT is one problem instance.
+type FT struct {
+	m          *machine.Machine
+	nz, ny, nx int
+	iters      int
+	scale      int
+	alpha      float64 // evolution phase constant
+
+	u1 *machine.Array // field, complex interleaved (2 floats per cell)
+	u2 *machine.Array // spectrum / workspace
+
+	init      []float64 // initial field copy (host)
+	energy0   float64
+	checksums []float64
+	steps     int
+}
+
+// New builds an FT instance. It satisfies nas.Builder.
+func New(m *machine.Machine, class nas.Class, scale int, seed uint64) nas.Kernel {
+	nz, ny, nx, iters := 8, 8, 8, 3
+	switch class {
+	case nas.ClassW:
+		nz, ny, nx, iters = 16, 32, 32, 6
+	case nas.ClassA:
+		nz, ny, nx, iters = 64, 128, 128, 6
+	}
+	f := &FT{m: m, nz: nz, ny: ny, nx: nx, iters: iters, scale: scale, alpha: 1e-2}
+	n := nz * ny * nx
+	f.u1 = m.NewArray("u1", 2*n)
+	f.u2 = m.NewArray("u2", 2*n)
+	f.init = make([]float64, 2*n)
+	s := seed*0x9e3779b97f4a7c15 + 77
+	for i := range f.init {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		f.init[i] = float64((z^(z>>31))>>11)/float64(1<<53) - 0.5
+	}
+	f.Reinit()
+	for i := 0; i < 2*n; i += 2 {
+		f.energy0 += f.init[i]*f.init[i] + f.init[i+1]*f.init[i+1]
+	}
+	return f
+}
+
+// Name returns "FT".
+func (f *FT) Name() string { return "FT" }
+
+// DefaultIterations returns the timestep count (the paper runs 6).
+func (f *FT) DefaultIterations() int { return f.iters }
+
+// HasPhase reports no record–replay phase (the paper applies record–replay
+// to BT and SP only).
+func (f *FT) HasPhase() bool { return false }
+
+// HotPages returns the spans of both complex arrays.
+func (f *FT) HotPages() [][2]uint64 {
+	var out [][2]uint64
+	for _, a := range []*machine.Array{f.u1, f.u2} {
+		lo, hi := a.PageRange()
+		out = append(out, [2]uint64{lo, hi})
+	}
+	return out
+}
+
+// cidx returns the interleaved index of cell (z,y,x).
+func (f *FT) cidx(z, y, x int) int { return ((z*f.ny+y)*f.nx + x) * 2 }
+
+// Reinit restores the initial field and clears the history.
+func (f *FT) Reinit() {
+	copy(f.u1.Data(), f.init)
+	clear(f.u2.Data())
+	f.checksums = f.checksums[:0]
+	f.steps = 0
+}
+
+// InitTouch writes both arrays parallel over z-planes.
+func (f *FT) InitTouch(t *omp.Team) {
+	t.Parallel(func(tr *omp.Thread) {
+		tr.For(0, f.nz, omp.Static(), func(c *machine.CPU, from, to int) {
+			for z := from; z < to; z++ {
+				for y := 0; y < f.ny; y++ {
+					base := f.cidx(z, y, 0)
+					for x := 0; x < 2*f.nx; x++ {
+						f.u1.Set(c, base+x, f.init[base+x])
+						f.u2.Set(c, base+x, 0)
+					}
+				}
+			}
+		})
+	})
+}
+
+// Step performs forward FFT, evolve, inverse FFT and a checksum.
+func (f *FT) Step(t *omp.Team, h *nas.Hooks) {
+	for s := 0; s < f.scale; s++ {
+		f.steps++
+		f.fftPassX(t, f.u1, f.u2, false) // u2 = FFTx(u1)
+		f.fftPassY(t, f.u2, false)
+		f.fftPassZ(t, f.u2, false)
+		f.evolve(t)
+		f.fftPassZ(t, f.u2, true)
+		f.fftPassY(t, f.u2, true)
+		f.fftPassX(t, f.u2, f.u1, true) // u1 = IFFTx(u2), includes 1/N scaling
+		f.checksum(t)
+	}
+}
+
+// fft1d runs an in-place radix-2 Cooley-Tukey transform on the host
+// scratch line; the caller charges 5*n*log2(n) flops (the standard count).
+func fft1d(line []complex128, inverse bool) {
+	n := len(line)
+	// Bit reversal.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 1; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			line[i], line[j] = line[j], line[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		w := cmplx.Exp(complex(0, sign*2*math.Pi/float64(size)))
+		for start := 0; start < n; start += size {
+			wk := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := line[start+k]
+				b := line[start+k+half] * wk
+				line[start+k] = a + b
+				line[start+k+half] = a - b
+				wk *= w
+			}
+		}
+	}
+}
+
+// lineFFT gathers a strided complex line from arr, transforms it, and
+// scatters it back (optionally into dst), charging memory traffic for the
+// gather/scatter and flops for the butterflies — the cache-blocked
+// structure NAS FT uses, where each line is transformed in cache.
+func (f *FT) lineFFT(c *machine.CPU, src, dst *machine.Array, base, stride, n int, inverse bool, scratch []complex128) {
+	for i := 0; i < n; i++ {
+		re := src.Get(c, base+i*stride)
+		im := src.Get(c, base+i*stride+1)
+		scratch[i] = complex(re, im)
+	}
+	fft1d(scratch[:n], inverse)
+	norm := 1.0
+	if inverse {
+		norm = 1 / float64(n)
+	}
+	for i := 0; i < n; i++ {
+		dst.Set(c, base+i*stride, real(scratch[i])*norm)
+		dst.Set(c, base+i*stride+1, imag(scratch[i])*norm)
+	}
+	c.Flops(5 * n * bits.TrailingZeros(uint(n)))
+}
+
+// fftPassX transforms every x-line (contiguous), parallel over z.
+func (f *FT) fftPassX(t *omp.Team, src, dst *machine.Array, inverse bool) {
+	t.Parallel(func(tr *omp.Thread) {
+		scratch := make([]complex128, f.nx)
+		tr.For(0, f.nz, omp.Static(), func(c *machine.CPU, from, to int) {
+			for z := from; z < to; z++ {
+				for y := 0; y < f.ny; y++ {
+					f.lineFFT(c, src, dst, f.cidx(z, y, 0), 2, f.nx, inverse, scratch)
+				}
+			}
+		})
+	})
+}
+
+// fftPassY transforms every y-line (stride nx), parallel over z.
+func (f *FT) fftPassY(t *omp.Team, a *machine.Array, inverse bool) {
+	t.Parallel(func(tr *omp.Thread) {
+		scratch := make([]complex128, f.ny)
+		tr.For(0, f.nz, omp.Static(), func(c *machine.CPU, from, to int) {
+			for z := from; z < to; z++ {
+				for x := 0; x < f.nx; x++ {
+					f.lineFFT(c, a, a, f.cidx(z, 0, x), 2*f.nx, f.ny, inverse, scratch)
+				}
+			}
+		})
+	})
+}
+
+// fftPassZ transforms every z-line (stride nx*ny): the lines cross every
+// z-plane, so this pass parallelises over y and touches all threads'
+// pages — FT's all-to-all.
+func (f *FT) fftPassZ(t *omp.Team, a *machine.Array, inverse bool) {
+	t.Parallel(func(tr *omp.Thread) {
+		scratch := make([]complex128, f.nz)
+		tr.For(0, f.ny, omp.Static(), func(c *machine.CPU, from, to int) {
+			for y := from; y < to; y++ {
+				for x := 0; x < f.nx; x++ {
+					f.lineFFT(c, a, a, f.cidx(0, y, x), 2*f.nx*f.ny, f.nz, inverse, scratch)
+				}
+			}
+		})
+	})
+}
+
+// evolve multiplies each mode by exp(i*alpha*|k|^2), a unit-modulus
+// rotation (energy preserving), parallel over z.
+func (f *FT) evolve(t *omp.Team) {
+	t.Parallel(func(tr *omp.Thread) {
+		tr.For(0, f.nz, omp.Static(), func(c *machine.CPU, from, to int) {
+			for z := from; z < to; z++ {
+				kz := freq(z, f.nz)
+				for y := 0; y < f.ny; y++ {
+					ky := freq(y, f.ny)
+					for x := 0; x < f.nx; x++ {
+						kx := freq(x, f.nx)
+						theta := f.alpha * float64(kz*kz+ky*ky+kx*kx)
+						cr, ci := math.Cos(theta), math.Sin(theta)
+						i := f.cidx(z, y, x)
+						re := f.u2.Get(c, i)
+						im := f.u2.Get(c, i+1)
+						f.u2.Set(c, i, re*cr-im*ci)
+						f.u2.Set(c, i+1, re*ci+im*cr)
+						c.Flops(8)
+					}
+				}
+			}
+		})
+	})
+}
+
+// freq maps an index to its signed frequency.
+func freq(i, n int) int {
+	if i <= n/2 {
+		return i
+	}
+	return i - n
+}
+
+// checksum reduces the field energy and appends it to the history.
+func (f *FT) checksum(t *omp.Team) {
+	var total float64
+	t.Parallel(func(tr *omp.Thread) {
+		var s float64
+		tr.For(0, f.nz, omp.Static(), func(c *machine.CPU, from, to int) {
+			for z := from; z < to; z++ {
+				for y := 0; y < f.ny; y++ {
+					base := f.cidx(z, y, 0)
+					for x := 0; x < f.nx; x++ {
+						re := f.u1.Get(c, base+2*x)
+						im := f.u1.Get(c, base+2*x+1)
+						s += re*re + im*im
+					}
+				}
+			}
+			c.Flops(4 * (to - from) * f.ny * f.nx)
+		}, omp.Nowait)
+		s = tr.ReduceSum(s)
+		if tr.ID == 0 {
+			total = s
+		}
+		tr.Barrier()
+	})
+	f.checksums = append(f.checksums, total)
+}
+
+// Checksums returns the per-step energy history.
+func (f *FT) Checksums() []float64 { return f.checksums }
+
+// Verify checks exact energy conservation (the evolution is unitary) and
+// that the field actually changed.
+func (f *FT) Verify() error {
+	if len(f.checksums) == 0 {
+		return fmt.Errorf("ft: no checksums recorded")
+	}
+	for i, cs := range f.checksums {
+		if math.IsNaN(cs) || math.Abs(cs-f.energy0) > 1e-6*f.energy0 {
+			return fmt.Errorf("ft: energy not conserved at step %d: %g vs %g", i+1, cs, f.energy0)
+		}
+	}
+	var diff float64
+	u := f.u1.Data()
+	for i := range u {
+		d := u[i] - f.init[i]
+		diff += d * d
+	}
+	if diff == 0 {
+		return fmt.Errorf("ft: field unchanged after %d steps", f.steps)
+	}
+	return nil
+}

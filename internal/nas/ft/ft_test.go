@@ -1,0 +1,245 @@
+package ft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"upmgo/internal/machine"
+	"upmgo/internal/nas"
+	"upmgo/internal/omp"
+	"upmgo/internal/vm"
+)
+
+func mkFT(t *testing.T) (*machine.Machine, *FT, *omp.Team) {
+	t.Helper()
+	mc := machine.DefaultConfig()
+	nas.ClassS.MachineTweak(&mc)
+	m := machine.MustNew(mc)
+	f := New(m, nas.ClassS, 1, 11).(*FT)
+	return m, f, omp.MustTeam(m, m.NumCPUs())
+}
+
+// naiveDFT computes the O(n^2) reference transform.
+func naiveDFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			w := cmplx.Exp(complex(0, sign*2*math.Pi*float64(k*j)/float64(n)))
+			out[k] += x[j] * w
+		}
+	}
+	return out
+}
+
+func TestFFT1DMatchesNaiveDFT(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(math.Sin(float64(i)*1.7), math.Cos(float64(i)*0.9))
+		}
+		want := naiveDFT(x, false)
+		got := append([]complex128(nil), x...)
+		fft1d(got, false)
+		for i := range want {
+			if cmplx.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("n=%d: FFT[%d] = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Property: inverse(forward(x)) == n*... with our conventions, fft1d
+// forward then inverse (and dividing by n) returns the input.
+func TestFFT1DRoundTrip(t *testing.T) {
+	f := func(re, im [8]float64) bool {
+		x := make([]complex128, 8)
+		for i := range x {
+			x[i] = complex(math.Mod(re[i], 100), math.Mod(im[i], 100))
+		}
+		y := append([]complex128(nil), x...)
+		fft1d(y, false)
+		fft1d(y, true)
+		for i := range y {
+			if cmplx.Abs(y[i]/8-x[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyConservedAcrossSteps(t *testing.T) {
+	_, f, team := mkFT(t)
+	for s := 0; s < 3; s++ {
+		f.Step(team, nil)
+	}
+	if err := f.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	for i, cs := range f.Checksums() {
+		if math.Abs(cs-f.energy0) > 1e-8*f.energy0 {
+			t.Errorf("step %d: energy %g, want %g", i+1, cs, f.energy0)
+		}
+	}
+}
+
+func TestFieldEvolves(t *testing.T) {
+	_, f, team := mkFT(t)
+	f.Step(team, nil)
+	same := true
+	for i, v := range f.u1.Data() {
+		if v != f.init[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("field identical to the initial condition after a step")
+	}
+}
+
+func TestReinitRestoresField(t *testing.T) {
+	_, f, team := mkFT(t)
+	f.Step(team, nil)
+	f.Reinit()
+	for i, v := range f.u1.Data() {
+		if v != f.init[i] {
+			t.Fatalf("u1[%d] = %g after Reinit, want %g", i, v, f.init[i])
+		}
+	}
+	if len(f.Checksums()) != 0 {
+		t.Error("checksums survived Reinit")
+	}
+}
+
+func TestResultsIndependentOfPlacement(t *testing.T) {
+	run := func(p vm.Policy) float64 {
+		mc := machine.DefaultConfig()
+		nas.ClassS.MachineTweak(&mc)
+		mc.Placement = p
+		m := machine.MustNew(mc)
+		f := New(m, nas.ClassS, 1, 11).(*FT)
+		team := omp.MustTeam(m, m.NumCPUs())
+		f.Step(team, nil)
+		var s float64
+		for _, v := range f.u1.Data() {
+			s += v * v
+		}
+		return s
+	}
+	if a, b := run(vm.FirstTouch), run(vm.WorstCase); a != b {
+		t.Errorf("field depends on placement: %g vs %g", a, b)
+	}
+}
+
+func TestZPassCrossesPages(t *testing.T) {
+	// Under first-touch, the z-direction FFT pass must be far more
+	// remote-heavy than the x pass.
+	mc := machine.DefaultConfig()
+	nas.ClassW.MachineTweak(&mc)
+	m := machine.MustNew(mc)
+	f := New(m, nas.ClassW, 1, 11).(*FT)
+	team := omp.MustTeam(m, m.NumCPUs())
+	team.SetSerial(true)
+	f.InitTouch(team)
+	team.SetSerial(false)
+
+	before := m.Stats()
+	f.fftPassX(team, f.u1, f.u2, false)
+	mid := m.Stats()
+	f.fftPassZ(team, f.u2, false)
+	after := m.Stats()
+
+	xr := rratio(mid.RemoteMem-before.RemoteMem, mid.LocalMem-before.LocalMem)
+	zr := rratio(after.RemoteMem-mid.RemoteMem, after.LocalMem-mid.LocalMem)
+	if zr < xr+0.2 {
+		t.Errorf("z pass remote ratio %.2f vs x pass %.2f; want a clear transpose effect", zr, xr)
+	}
+}
+
+func rratio(rem, loc uint64) float64 {
+	if rem+loc == 0 {
+		return 0
+	}
+	return float64(rem) / float64(rem+loc)
+}
+
+func TestDriverEndToEnd(t *testing.T) {
+	r, err := nas.Run(New, nas.Config{Class: nas.ClassS, Placement: vm.FirstTouch, KernelMig: true, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Verified {
+		t.Errorf("FT run failed verification: %v", r.VerifyErr)
+	}
+}
+
+// TestForward3DAgainstNaiveDFT cross-checks the full 3-D transform (the
+// composition of the x, y and z passes) against a direct O(n^2) DFT per
+// dimension on a tiny grid.
+func TestForward3DAgainstNaiveDFT(t *testing.T) {
+	mc := machine.DefaultConfig()
+	nas.ClassS.MachineTweak(&mc)
+	m := machine.MustNew(mc)
+	f := New(m, nas.ClassS, 1, 5).(*FT)
+	team := omp.MustTeam(m, m.NumCPUs())
+
+	// Run the kernel's three forward passes.
+	f.fftPassX(team, f.u1, f.u2, false)
+	f.fftPassY(team, f.u2, false)
+	f.fftPassZ(team, f.u2, false)
+
+	// Reference: naive DFT along each dimension of the initial field.
+	nz, ny, nx := f.nz, f.ny, f.nx
+	ref := make([]complex128, nz*ny*nx)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				i := f.cidx(z, y, x)
+				ref[(z*ny+y)*nx+x] = complex(f.init[i], f.init[i+1])
+			}
+		}
+	}
+	dftDim := func(data []complex128, base, stride, n int) {
+		line := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			line[i] = data[base+i*stride]
+		}
+		out := naiveDFT(line, false)
+		for i := 0; i < n; i++ {
+			data[base+i*stride] = out[i]
+		}
+	}
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			dftDim(ref, (z*ny+y)*nx, 1, nx)
+		}
+	}
+	for z := 0; z < nz; z++ {
+		for x := 0; x < nx; x++ {
+			dftDim(ref, z*ny*nx+x, nx, ny)
+		}
+	}
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			dftDim(ref, y*nx+x, ny*nx, nz)
+		}
+	}
+	u2 := f.u2.Data()
+	for c := range ref {
+		got := complex(u2[2*c], u2[2*c+1])
+		if cmplx.Abs(got-ref[c]) > 1e-8 {
+			t.Fatalf("cell %d: 3-D FFT %v, naive DFT %v", c, got, ref[c])
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package is
+
+import (
+	"testing"
+
+	"upmgo/internal/machine"
+	"upmgo/internal/nas"
+	"upmgo/internal/omp"
+	"upmgo/internal/vm"
+)
+
+func mkIS(t *testing.T) (*machine.Machine, *IS, *omp.Team) {
+	t.Helper()
+	mc := machine.DefaultConfig()
+	nas.ClassS.MachineTweak(&mc)
+	m := machine.MustNew(mc)
+	s := New(m, nas.ClassS, 1, 13).(*IS)
+	return m, s, omp.MustTeam(m, m.NumCPUs())
+}
+
+func TestSortsCorrectly(t *testing.T) {
+	_, s, team := mkIS(t)
+	for i := 0; i < 3; i++ {
+		s.Step(team, nil)
+		if err := s.Verify(); err != nil {
+			t.Fatalf("step %d: %v", i+1, err)
+		}
+	}
+}
+
+func TestPerturbationChangesKeysPerIteration(t *testing.T) {
+	_, s, team := mkIS(t)
+	before := append([]int32(nil), s.keys.Data()...)
+	s.Step(team, nil)
+	diff := 0
+	for i, v := range s.keys.Data() {
+		if v != before[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("keys unchanged: iterations would be identical")
+	}
+	if diff > 2 {
+		t.Errorf("%d keys changed, want at most 2", diff)
+	}
+}
+
+func TestReinitRestoresKeys(t *testing.T) {
+	_, s, team := mkIS(t)
+	s.Step(team, nil)
+	s.Reinit()
+	for i, v := range s.keys.Data() {
+		if v != s.initKeys[i] {
+			t.Fatalf("key %d = %d after Reinit, want %d", i, v, s.initKeys[i])
+		}
+	}
+}
+
+func TestResultsIndependentOfPlacement(t *testing.T) {
+	run := func(p vm.Policy) []int32 {
+		mc := machine.DefaultConfig()
+		nas.ClassS.MachineTweak(&mc)
+		mc.Placement = p
+		m := machine.MustNew(mc)
+		s := New(m, nas.ClassS, 1, 13).(*IS)
+		team := omp.MustTeam(m, m.NumCPUs())
+		s.Step(team, nil)
+		return append([]int32(nil), s.outKeys.Data()...)
+	}
+	a, b := run(vm.FirstTouch), run(vm.WorstCase)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outKeys[%d] depends on placement: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestScatterIsPlacementHostile(t *testing.T) {
+	// Even under tuned first-touch, the scatter writes land where the
+	// key values dictate: the remote ratio must stay high.
+	m, s, team := mkIS(t)
+	team.SetSerial(true)
+	s.InitTouch(team)
+	team.SetSerial(false)
+	s.Step(team, nil)
+	if r := m.Stats().RemoteRatio(); r < 0.3 {
+		t.Errorf("remote ratio %.2f under ft; the scatter should defeat placement", r)
+	}
+}
+
+func TestDriverEndToEnd(t *testing.T) {
+	for _, p := range []vm.Policy{vm.FirstTouch, vm.WorstCase} {
+		r, err := nas.Run(New, nas.Config{Class: nas.ClassS, Placement: p, Seed: 13})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Verified {
+			t.Errorf("%s: %v", p, r.VerifyErr)
+		}
+	}
+}
+
+func TestHotPages(t *testing.T) {
+	_, s, _ := mkIS(t)
+	if got := len(s.HotPages()); got != 3 {
+		t.Errorf("HotPages = %d ranges, want 3", got)
+	}
+	if s.HasPhase() {
+		t.Error("IS must not advertise a record-replay phase")
+	}
+}

@@ -1,0 +1,128 @@
+package lu
+
+import (
+	"math"
+	"testing"
+
+	"upmgo/internal/machine"
+	"upmgo/internal/nas"
+	"upmgo/internal/omp"
+	"upmgo/internal/vm"
+)
+
+func mkLU(t *testing.T) (*machine.Machine, *LU, *omp.Team) {
+	t.Helper()
+	mc := machine.DefaultConfig()
+	nas.ClassS.MachineTweak(&mc)
+	m := machine.MustNew(mc)
+	l := New(m, nas.ClassS, 1, 0).(*LU)
+	return m, l, omp.MustTeam(m, m.NumCPUs())
+}
+
+func TestSSORResidualDecreasesMonotonically(t *testing.T) {
+	_, l, team := mkLU(t)
+	prev := l.ResidualNorm()
+	if prev == 0 {
+		t.Fatal("zero initial residual")
+	}
+	for s := 0; s < 6; s++ {
+		l.Step(team, nil)
+		res := l.ResidualNorm()
+		if math.IsNaN(res) || res >= prev {
+			t.Fatalf("step %d: residual %g did not decrease from %g", s+1, res, prev)
+		}
+		prev = res
+	}
+}
+
+func TestSSORConvergesToManufacturedSolution(t *testing.T) {
+	_, l, team := mkLU(t)
+	e0 := l.ErrorNorm()
+	for s := 0; s < 12; s++ {
+		l.Step(team, nil)
+	}
+	if e := l.ErrorNorm(); e >= 0.05*e0 {
+		t.Errorf("error %g after 12 SSOR steps, want < 5%% of %g (SSOR converges fast)", e, e0)
+	}
+	if err := l.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+// The pipelined parallel sweep must compute exactly what a sequential
+// SSOR sweep computes: the events enforce the Gauss-Seidel dependences.
+func TestPipelinedSweepMatchesSequential(t *testing.T) {
+	mc := machine.DefaultConfig()
+	nas.ClassS.MachineTweak(&mc)
+
+	mPar := machine.MustNew(mc)
+	par := New(mPar, nas.ClassS, 1, 0).(*LU)
+	teamPar := omp.MustTeam(mPar, mPar.NumCPUs())
+
+	mSeq := machine.MustNew(mc)
+	seq := New(mSeq, nas.ClassS, 1, 0).(*LU)
+	teamSeq := omp.MustTeam(mSeq, 1) // one thread: trivially sequential
+
+	for s := 0; s < 2; s++ {
+		par.Step(teamPar, nil)
+		seq.Step(teamSeq, nil)
+	}
+	up, us := par.u.Data(), seq.u.Data()
+	for i := range up {
+		if math.Abs(up[i]-us[i]) > 1e-12 {
+			t.Fatalf("u[%d]: pipelined %g vs sequential %g", i, up[i], us[i])
+		}
+	}
+}
+
+func TestUnevenTeamSizesDoNotDeadlock(t *testing.T) {
+	// Class S has 8 interior j rows; a team of 5 leaves thread 4 with
+	// fewer rows (8 = 2+2+2+2+0 with chunk 2): the backward sweep must
+	// not wait on the workless tail.
+	mc := machine.DefaultConfig()
+	nas.ClassS.MachineTweak(&mc)
+	m := machine.MustNew(mc)
+	l := New(m, nas.ClassS, 1, 0).(*LU)
+	team := omp.MustTeam(m, 5)
+	prev := l.ResidualNorm()
+	l.Step(team, nil)
+	if res := l.ResidualNorm(); res >= prev {
+		t.Errorf("residual %g did not decrease from %g with an uneven team", res, prev)
+	}
+}
+
+func TestDriverEndToEnd(t *testing.T) {
+	for _, p := range []vm.Policy{vm.FirstTouch, vm.WorstCase} {
+		r, err := nas.Run(New, nas.Config{Class: nas.ClassS, Placement: p, UPM: nas.UPMDistribute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Verified {
+			t.Errorf("%s: verification failed: %v", p, r.VerifyErr)
+		}
+	}
+}
+
+func TestPlacementOrderingHoldsForPipelinedCode(t *testing.T) {
+	run := func(p vm.Policy) int64 {
+		r, err := nas.Run(New, nas.Config{Class: nas.ClassS, Placement: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.TotalPS
+	}
+	ft, wc := run(vm.FirstTouch), run(vm.WorstCase)
+	if ft >= wc {
+		t.Errorf("ft (%d) not faster than wc (%d) for LU", ft, wc)
+	}
+}
+
+func TestHotPages(t *testing.T) {
+	_, l, _ := mkLU(t)
+	if got := len(l.HotPages()); got != 2 {
+		t.Errorf("HotPages = %d ranges, want 2 (u, f)", got)
+	}
+	if l.HasPhase() {
+		t.Error("LU must not advertise a record-replay phase")
+	}
+}

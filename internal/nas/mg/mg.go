@@ -1,0 +1,403 @@
+// Package mg reproduces NAS MG: a V-cycle multigrid solver for the 3-D
+// Poisson equation. Each timed iteration evaluates the fine-grid residual
+// and applies one V-cycle (restrict residuals down the grid hierarchy,
+// smooth on the coarsest grid, prolongate corrections back up with
+// post-smoothing). Every level's loops parallelise over the outermost
+// dimension; coarse grids have fewer planes than threads, the load
+// imbalance that makes MG's memory behaviour interesting on ccNUMA.
+//
+// The smoother is damped Jacobi and the transfer operators are full
+// weighting / trilinear interpolation on vertex-centred grids of size
+// 2^k+1, so a V-cycle contracts the residual by a grid-independent
+// factor, which Verify checks.
+package mg
+
+import (
+	"fmt"
+	"math"
+
+	"upmgo/internal/machine"
+	"upmgo/internal/nas"
+	"upmgo/internal/omp"
+)
+
+// level is one grid of the hierarchy. r holds the level's right-hand side
+// (the restricted residual on coarse grids); w is smoother scratch — the
+// NAS code also smooths through an explicit residual array, because an
+// in-place Jacobi sweep that reads neighbours while other threads write
+// them is a data race.
+type level struct {
+	n       int // points per dimension (2^k + 1)
+	u, r, w *machine.Array3
+}
+
+// MG is one problem instance.
+type MG struct {
+	m      *machine.Machine
+	iters  int
+	scale  int
+	levels []level // levels[0] is the finest
+	v      *machine.Array3
+	res0   float64
+}
+
+// New builds an MG instance. It satisfies nas.Builder.
+func New(m *machine.Machine, class nas.Class, scale int, seed uint64) nas.Kernel {
+	n, iters := 17, 4
+	switch class {
+	case nas.ClassW:
+		n, iters = 33, 4
+	case nas.ClassA:
+		n, iters = 129, 4
+	}
+	g := &MG{m: m, iters: iters, scale: scale}
+	for sz := n; sz >= 5; sz = sz/2 + 1 {
+		g.levels = append(g.levels, level{
+			n: sz,
+			u: m.NewArray3(fmt.Sprintf("u%d", sz), sz, sz, sz),
+			r: m.NewArray3(fmt.Sprintf("r%d", sz), sz, sz, sz),
+			w: m.NewArray3(fmt.Sprintf("w%d", sz), sz, sz, sz),
+		})
+	}
+	g.v = m.NewArray3("v", n, n, n)
+	g.buildRHS(seed)
+	g.Reinit()
+	g.res0 = g.residualNorm()
+	return g
+}
+
+// Name returns "MG".
+func (g *MG) Name() string { return "MG" }
+
+// DefaultIterations returns the V-cycle count (the paper times 4).
+func (g *MG) DefaultIterations() int { return g.iters }
+
+// HasPhase reports no record–replay phase.
+func (g *MG) HasPhase() bool { return false }
+
+// HotPages returns the spans of every level's arrays plus the right-hand
+// side.
+func (g *MG) HotPages() [][2]uint64 {
+	var out [][2]uint64
+	for _, l := range g.levels {
+		for _, a := range []*machine.Array3{l.u, l.r, l.w} {
+			lo, hi := a.PageRange()
+			out = append(out, [2]uint64{lo, hi})
+		}
+	}
+	lo, hi := g.v.PageRange()
+	out = append(out, [2]uint64{lo, hi})
+	return out
+}
+
+// buildRHS fills v with a zero-mean pattern of point charges, NAS-style:
+// +1 at some pseudo-random interior points and -1 at others.
+func (g *MG) buildRHS(seed uint64) {
+	n := g.levels[0].n
+	v := g.v.Data()
+	s := seed*0x9e3779b97f4a7c15 + 1
+	next := func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s
+	}
+	for c := 0; c < 2*(n-2); c++ {
+		k := 1 + int(next()%uint64(n-2))
+		j := 1 + int(next()%uint64(n-2))
+		i := 1 + int(next()%uint64(n-2))
+		if c%2 == 0 {
+			v[g.levels[0].u.Idx(k, j, i)] = 1
+		} else {
+			v[g.levels[0].u.Idx(k, j, i)] = -1
+		}
+	}
+}
+
+// Reinit zeroes the solution and work arrays.
+func (g *MG) Reinit() {
+	for _, l := range g.levels {
+		clear(l.u.Data())
+		clear(l.r.Data())
+		clear(l.w.Data())
+	}
+}
+
+// InitTouch writes every level's arrays with the compute partitioning.
+func (g *MG) InitTouch(t *omp.Team) {
+	vd := g.v.Data()
+	t.Parallel(func(tr *omp.Thread) {
+		for li, l := range g.levels {
+			n := l.n
+			tr.For(0, n, omp.Static(), func(c *machine.CPU, from, to int) {
+				for k := from; k < to; k++ {
+					for j := 0; j < n; j++ {
+						for i := 0; i < n; i++ {
+							l.u.Set3(c, k, j, i, 0)
+							l.r.Set3(c, k, j, i, 0)
+							l.w.Set3(c, k, j, i, 0)
+							if li == 0 {
+								g.v.Set3(c, k, j, i, vd[l.u.Idx(k, j, i)])
+							}
+						}
+					}
+				}
+			})
+		}
+	})
+}
+
+// Step runs one V-cycle: r = v - A u on the finest grid, descend, correct.
+func (g *MG) Step(t *omp.Team, h *nas.Hooks) {
+	for s := 0; s < g.scale; s++ {
+		g.residual(t, 0)
+		g.vcycle(t)
+	}
+}
+
+// vcycle performs the standard V-cycle on the residual hierarchy,
+// accumulating the correction into the finest u.
+func (g *MG) vcycle(t *omp.Team) {
+	last := len(g.levels) - 1
+	// Downstroke: restrict residuals; coarse u starts at zero.
+	for l := 0; l < last; l++ {
+		g.restrict(t, l)
+		g.zero(t, l+1)
+	}
+	// Coarsest: a few smoothing sweeps stand in for a direct solve.
+	for s := 0; s < 8; s++ {
+		g.smooth(t, last)
+	}
+	// Upstroke: prolongate and post-smooth.
+	for l := last - 1; l >= 0; l-- {
+		g.prolongate(t, l)
+		g.smooth(t, l)
+	}
+	// The finest-level smoother above already folded the correction into
+	// levels[0].u via the residual equation.
+}
+
+// residual computes r_l = f_l - A u_l where f is v on the finest level and
+// the restricted residual on coarser ones. Parallel over k.
+func (g *MG) residual(t *omp.Team, l int) {
+	lv := g.levels[l]
+	n := lv.n
+	h2 := float64(n-1) * float64(n-1)
+	t.Parallel(func(tr *omp.Thread) {
+		tr.For(1, n-1, omp.Static(), func(c *machine.CPU, from, to int) {
+			for k := from; k < to; k++ {
+				for j := 1; j < n-1; j++ {
+					for i := 1; i < n-1; i++ {
+						au := (6*lv.u.Get3(c, k, j, i) -
+							lv.u.Get3(c, k+1, j, i) - lv.u.Get3(c, k-1, j, i) -
+							lv.u.Get3(c, k, j+1, i) - lv.u.Get3(c, k, j-1, i) -
+							lv.u.Get3(c, k, j, i+1) - lv.u.Get3(c, k, j, i-1)) * h2
+						var f float64
+						if l == 0 {
+							f = g.v.Get3(c, k, j, i)
+						} else {
+							f = lv.r.Get3(c, k, j, i)
+						}
+						lv.r.Set3(c, k, j, i, f-au)
+						c.Flops(10)
+					}
+				}
+			}
+		})
+	})
+}
+
+// smooth applies one damped-Jacobi sweep on level l against the level's
+// right-hand side: v on the finest grid, the restricted residual
+// elsewhere (NAS's psinv). It runs as two barrier-separated passes —
+// residual into the scratch array, then the pointwise correction — so no
+// thread reads a u value another thread is writing.
+func (g *MG) smooth(t *omp.Team, l int) {
+	lv := g.levels[l]
+	n := lv.n
+	h2 := float64(n-1) * float64(n-1)
+	omega := 2.0 / 3.0
+	t.Parallel(func(tr *omp.Thread) {
+		tr.For(1, n-1, omp.Static(), func(c *machine.CPU, from, to int) {
+			for k := from; k < to; k++ {
+				for j := 1; j < n-1; j++ {
+					for i := 1; i < n-1; i++ {
+						au := (6*lv.u.Get3(c, k, j, i) -
+							lv.u.Get3(c, k+1, j, i) - lv.u.Get3(c, k-1, j, i) -
+							lv.u.Get3(c, k, j+1, i) - lv.u.Get3(c, k, j-1, i) -
+							lv.u.Get3(c, k, j, i+1) - lv.u.Get3(c, k, j, i-1)) * h2
+						var f float64
+						if l == 0 {
+							f = g.v.Get3(c, k, j, i)
+						} else {
+							f = lv.r.Get3(c, k, j, i)
+						}
+						lv.w.Set3(c, k, j, i, f-au)
+						c.Flops(10)
+					}
+				}
+			}
+		})
+		tr.For(1, n-1, omp.Static(), func(c *machine.CPU, from, to int) {
+			for k := from; k < to; k++ {
+				for j := 1; j < n-1; j++ {
+					for i := 1; i < n-1; i++ {
+						lv.u.Add(c, lv.u.Idx(k, j, i), omega*lv.w.Get3(c, k, j, i)/(6*h2))
+						c.Flops(3)
+					}
+				}
+			}
+		})
+	})
+}
+
+// restrict computes the level-(l+1) right-hand side by full weighting of
+// the level-l residual (rprj3). It refreshes r_l first.
+func (g *MG) restrict(t *omp.Team, l int) {
+	g.residual(t, l)
+	fine := g.levels[l]
+	coarse := g.levels[l+1]
+	nc := coarse.n
+	t.Parallel(func(tr *omp.Thread) {
+		tr.For(1, nc-1, omp.Static(), func(c *machine.CPU, from, to int) {
+			for k := from; k < to; k++ {
+				fk := 2 * k
+				for j := 1; j < nc-1; j++ {
+					fj := 2 * j
+					for i := 1; i < nc-1; i++ {
+						fi := 2 * i
+						var s float64
+						for dk := -1; dk <= 1; dk++ {
+							for dj := -1; dj <= 1; dj++ {
+								for di := -1; di <= 1; di++ {
+									w := 0.125 * weight1(dk) * weight1(dj) * weight1(di)
+									s += w * fine.r.Get3(c, fk+dk, fj+dj, fi+di)
+								}
+							}
+						}
+						coarse.r.Set3(c, k, j, i, s)
+						c.Flops(40)
+					}
+				}
+			}
+		})
+	})
+}
+
+func weight1(d int) float64 {
+	if d == 0 {
+		return 1
+	}
+	return 0.5
+}
+
+// prolongate adds the trilinear interpolation of the level-(l+1)
+// correction into the level-l solution (interp).
+func (g *MG) prolongate(t *omp.Team, l int) {
+	fine := g.levels[l]
+	coarse := g.levels[l+1]
+	n := fine.n
+	t.Parallel(func(tr *omp.Thread) {
+		tr.For(1, n-1, omp.Static(), func(c *machine.CPU, from, to int) {
+			for k := from; k < to; k++ {
+				for j := 1; j < n-1; j++ {
+					for i := 1; i < n-1; i++ {
+						v := trilerp(c, coarse, k, j, i)
+						fine.u.Add(c, fine.u.Idx(k, j, i), v)
+						c.Flops(14)
+					}
+				}
+			}
+		})
+	})
+}
+
+// trilerp evaluates the coarse-grid correction at fine point (k,j,i).
+func trilerp(c *machine.CPU, coarse level, k, j, i int) float64 {
+	k0, kf := k/2, float64(k%2)/2
+	j0, jf := j/2, float64(j%2)/2
+	i0, if_ := i/2, float64(i%2)/2
+	var s float64
+	for dk := 0; dk <= 1; dk++ {
+		wk := 1 - kf
+		if dk == 1 {
+			wk = kf
+		}
+		if wk == 0 {
+			continue
+		}
+		for dj := 0; dj <= 1; dj++ {
+			wj := 1 - jf
+			if dj == 1 {
+				wj = jf
+			}
+			if wj == 0 {
+				continue
+			}
+			for di := 0; di <= 1; di++ {
+				wi := 1 - if_
+				if di == 1 {
+					wi = if_
+				}
+				if wi == 0 {
+					continue
+				}
+				s += wk * wj * wi * coarse.u.Get3(c, k0+dk, j0+dj, i0+di)
+			}
+		}
+	}
+	return s
+}
+
+// zero clears level l's solution (coarse corrections start at zero).
+func (g *MG) zero(t *omp.Team, l int) {
+	lv := g.levels[l]
+	n := lv.n
+	t.Parallel(func(tr *omp.Thread) {
+		tr.For(0, n, omp.Static(), func(c *machine.CPU, from, to int) {
+			for k := from; k < to; k++ {
+				for j := 0; j < n; j++ {
+					for i := 0; i < n; i++ {
+						lv.u.Set3(c, k, j, i, 0)
+					}
+				}
+			}
+		})
+	})
+}
+
+// residualNorm evaluates ||v - A u|| on the finest grid, host-side.
+func (g *MG) residualNorm() float64 {
+	lv := g.levels[0]
+	n := lv.n
+	h2 := float64(n-1) * float64(n-1)
+	u := lv.u.Data()
+	v := g.v.Data()
+	idx := lv.u.Idx
+	var s float64
+	for k := 1; k < n-1; k++ {
+		for j := 1; j < n-1; j++ {
+			for i := 1; i < n-1; i++ {
+				au := (6*u[idx(k, j, i)] -
+					u[idx(k+1, j, i)] - u[idx(k-1, j, i)] -
+					u[idx(k, j+1, i)] - u[idx(k, j-1, i)] -
+					u[idx(k, j, i+1)] - u[idx(k, j, i-1)]) * h2
+				d := v[idx(k, j, i)] - au
+				s += d * d
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// ResidualNorm exposes the residual for tests.
+func (g *MG) ResidualNorm() float64 { return g.residualNorm() }
+
+// Verify checks that the V-cycles contracted the residual.
+func (g *MG) Verify() error {
+	res := g.residualNorm()
+	if math.IsNaN(res) || res >= 0.5*g.res0 {
+		return fmt.Errorf("mg: residual %g did not contract from %g", res, g.res0)
+	}
+	return nil
+}

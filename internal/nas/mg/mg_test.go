@@ -1,0 +1,125 @@
+package mg
+
+import (
+	"math"
+	"testing"
+
+	"upmgo/internal/machine"
+	"upmgo/internal/nas"
+	"upmgo/internal/omp"
+	"upmgo/internal/vm"
+)
+
+func mkMG(t *testing.T) (*machine.Machine, *MG, *omp.Team) {
+	t.Helper()
+	mc := machine.DefaultConfig()
+	nas.ClassS.MachineTweak(&mc)
+	m := machine.MustNew(mc)
+	g := New(m, nas.ClassS, 1, 3).(*MG)
+	return m, g, omp.MustTeam(m, m.NumCPUs())
+}
+
+func TestHierarchyShape(t *testing.T) {
+	_, g, _ := mkMG(t)
+	// 17 -> 9 -> 5.
+	want := []int{17, 9, 5}
+	if len(g.levels) != len(want) {
+		t.Fatalf("levels = %d, want %d", len(g.levels), len(want))
+	}
+	for i, n := range want {
+		if g.levels[i].n != n {
+			t.Errorf("level %d size %d, want %d", i, g.levels[i].n, n)
+		}
+	}
+}
+
+func TestVCycleContractsResidual(t *testing.T) {
+	_, g, team := mkMG(t)
+	prev := g.ResidualNorm()
+	if prev == 0 {
+		t.Fatal("zero initial residual")
+	}
+	for cyc := 0; cyc < 4; cyc++ {
+		g.Step(team, nil)
+		res := g.ResidualNorm()
+		if math.IsNaN(res) || res >= prev {
+			t.Fatalf("cycle %d: residual %g did not contract from %g", cyc+1, res, prev)
+		}
+		if res > 0.8*prev {
+			t.Errorf("cycle %d: weak contraction %g -> %g", cyc+1, prev, res)
+		}
+		prev = res
+	}
+	if err := g.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestRHSIsZeroMeanAndNonTrivial(t *testing.T) {
+	_, g, _ := mkMG(t)
+	var sum, asum float64
+	for _, v := range g.v.Data() {
+		sum += v
+		asum += math.Abs(v)
+	}
+	if asum == 0 {
+		t.Fatal("rhs is identically zero")
+	}
+	if math.Abs(sum) > 1e-9 {
+		// +1/-1 charges come in equal numbers unless collisions
+		// overwrote some; allow a small imbalance only.
+		if math.Abs(sum) > 4 {
+			t.Errorf("rhs sum %g, want near zero", sum)
+		}
+	}
+}
+
+func TestResultsIndependentOfPlacement(t *testing.T) {
+	run := func(p vm.Policy) float64 {
+		mc := machine.DefaultConfig()
+		nas.ClassS.MachineTweak(&mc)
+		mc.Placement = p
+		m := machine.MustNew(mc)
+		g := New(m, nas.ClassS, 1, 3).(*MG)
+		team := omp.MustTeam(m, m.NumCPUs())
+		g.Step(team, nil)
+		return g.ResidualNorm()
+	}
+	if a, b := run(vm.FirstTouch), run(vm.WorstCase); a != b {
+		t.Errorf("residual depends on placement: %g vs %g", a, b)
+	}
+}
+
+func TestHotPagesCoverAllLevels(t *testing.T) {
+	_, g, _ := mkMG(t)
+	want := 3*len(g.levels) + 1
+	if got := len(g.HotPages()); got != want {
+		t.Errorf("HotPages = %d ranges, want %d", got, want)
+	}
+}
+
+func TestReinitClearsAllLevels(t *testing.T) {
+	_, g, team := mkMG(t)
+	g.Step(team, nil)
+	g.Reinit()
+	for li, l := range g.levels {
+		for i, v := range l.u.Data() {
+			if v != 0 {
+				t.Fatalf("level %d u[%d] = %g after Reinit", li, i, v)
+			}
+		}
+	}
+}
+
+func TestDriverEndToEnd(t *testing.T) {
+	r, err := nas.Run(New, nas.Config{Class: nas.ClassS, Placement: vm.Random, UPM: nas.UPMDistribute, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Verified {
+		t.Errorf("MG run failed verification: %v", r.VerifyErr)
+	}
+	if r.Kernel != "MG" {
+		t.Errorf("kernel = %q", r.Kernel)
+	}
+}

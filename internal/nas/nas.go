@@ -1,0 +1,377 @@
+// Package nas provides the shared driver for the OpenMP NAS benchmark
+// reproductions (BT, SP, CG, MG, FT): problem classes, the experiment
+// configuration (placement scheme, kernel migration, UPMlib mode), the
+// cold-start first-touch protocol, the UPMlib invocation protocols of the
+// paper's Figures 2 and 3, per-iteration timing, and verification.
+package nas
+
+import (
+	"fmt"
+
+	"upmgo/internal/kmig"
+	"upmgo/internal/machine"
+	"upmgo/internal/omp"
+	"upmgo/internal/upm"
+	"upmgo/internal/vm"
+)
+
+// Class scales a benchmark. The paper runs NAS Class A on real hardware;
+// the simulator pays host time per simulated access, so the default
+// experiment class (W) scales the grids down and scales the simulated
+// cache sizes with them, preserving the ratio of working set to cache
+// that makes placement matter. EXPERIMENTS.md records the exact sizes.
+type Class int
+
+const (
+	// ClassS is tiny: unit tests.
+	ClassS Class = iota
+	// ClassW is the default experiment scale.
+	ClassW
+	// ClassA approaches the paper's problem sizes (expensive; use from
+	// cmd/nasbench explicitly).
+	ClassA
+)
+
+// String returns "S", "W" or "A".
+func (c Class) String() string { return [...]string{"S", "W", "A"}[c] }
+
+// MachineTweak scales the simulated machine with the class: cache sizes
+// shrink so the per-thread working set exceeds L2 the way NAS Class A
+// exceeds the Origin2000's 4 MB L2, page sizes shrink so a page does not
+// span several threads' partitions, and the tiny test class runs on a
+// 4-node machine so that every thread of the scaled-down grids has work
+// (idle nodes would distort the contention comparison between placements).
+func (c Class) MachineTweak(mc *machine.Config) {
+	switch c {
+	case ClassS:
+		mc.Nodes, mc.CPUsPerNode = 4, 2
+		mc.PageBytes = 1024
+		mc.L1Bytes, mc.L1Line, mc.L1Ways = 4*1024, 32, 2
+		mc.L2Bytes, mc.L2Line, mc.L2Ways = 16*1024, 128, 2
+	case ClassW:
+		mc.PageBytes = 2 * 1024
+		mc.L1Bytes, mc.L1Line, mc.L1Ways = 8*1024, 32, 2
+		mc.L2Bytes, mc.L2Line, mc.L2Ways = 64*1024, 128, 2
+	case ClassA:
+		// The real machine.
+	}
+}
+
+// Mode selects the UPMlib protocol.
+type Mode int
+
+const (
+	// UPMOff runs without the user-level engine.
+	UPMOff Mode = iota
+	// UPMDistribute uses iterative page migration as implicit data
+	// distribution (the paper's Figure 2 protocol).
+	UPMDistribute
+	// UPMRecRep adds record–replay redistribution around the kernel's
+	// phase change (the paper's Figure 3 protocol; BT and SP only).
+	UPMRecRep
+)
+
+// String returns a short label.
+func (m Mode) String() string { return [...]string{"off", "upmlib", "recrep"}[m] }
+
+// Hooks are the serial-section calls a kernel makes around its
+// phase-change phase (z_solve in BT/SP). The driver fills them per step to
+// implement the record–replay protocol; kernels without a phase ignore
+// them.
+type Hooks struct {
+	// BeforePhase runs on the master immediately before the phase's
+	// parallel region; AfterPhase immediately after its join.
+	BeforePhase func(c *machine.CPU)
+	AfterPhase  func(c *machine.CPU)
+	// phaseStart is used by the driver to time the phase.
+	phaseStart int64
+	phasePS    int64
+}
+
+// PhaseEnter must be called by the kernel right before the marked phase's
+// parallel region (after BeforePhase side effects are charged).
+func (h *Hooks) PhaseEnter(c *machine.CPU) {
+	if h == nil {
+		return
+	}
+	if h.BeforePhase != nil {
+		h.BeforePhase(c)
+	}
+	h.phaseStart = c.Now()
+}
+
+// PhaseExit must be called right after the marked phase's join.
+func (h *Hooks) PhaseExit(c *machine.CPU) {
+	if h == nil {
+		return
+	}
+	h.phasePS += c.Now() - h.phaseStart
+	if h.AfterPhase != nil {
+		h.AfterPhase(c)
+	}
+}
+
+// Kernel is one NAS benchmark bound to a machine.
+type Kernel interface {
+	// Name returns the benchmark's short name ("BT", ...).
+	Name() string
+	// DefaultIterations returns the class's main-loop step count.
+	DefaultIterations() int
+	// InitTouch writes the initial data through simulated accesses with
+	// the same loop partitioning as the compute phases. NAS codes
+	// parallelise their initialisation routines exactly so that
+	// first-touch places each page on its dominant accessor; without
+	// this, stencil reads of neighbour planes during the first parallel
+	// region would shift every page's home by one node.
+	InitTouch(t *omp.Team)
+	// Step executes one timestep as a sequence of parallel regions on
+	// the team, invoking hooks around the marked phase if any.
+	Step(t *omp.Team, h *Hooks)
+	// Reinit restores the initial data (used to discard the cold-start
+	// iteration's results) without touching simulated memory.
+	Reinit()
+	// Verify checks the numerical outcome after the main loop.
+	Verify() error
+	// HotPages returns the page spans of the compiler-identified hot
+	// arrays (shared arrays both read and written across parallel
+	// constructs).
+	HotPages() [][2]uint64
+	// HasPhase reports whether the kernel has a phase change usable by
+	// record–replay.
+	HasPhase() bool
+}
+
+// Builder constructs a kernel on a machine at a class and compute scale.
+type Builder func(m *machine.Machine, class Class, scale int, seed uint64) Kernel
+
+// Config selects one experiment cell.
+type Config struct {
+	Class      Class
+	Placement  vm.Policy
+	KernelMig  bool        // IRIX-style kernel engine on
+	UPM        Mode        // user-level engine protocol
+	UPMOptions upm.Options // zero = paper defaults
+	Kmig       kmig.Config // zero = defaults
+	Threads    int         // 0 = all CPUs
+	Iterations int         // 0 = class default
+	// ComputeScale repeats each phase's body (the paper's synthetic
+	// scaling in Figure 6). 0 or 1 = normal.
+	ComputeScale int
+	// PerturbAt models OS scheduler interference (the multiprogramming
+	// case the paper defers to its companion work): after iteration
+	// PerturbAt the thread-to-CPU binding rotates by one node, stranding
+	// every thread's pages on its old node. UPMlib, if enabled, is
+	// reactivated to repair the damage. 0 = never.
+	PerturbAt int
+	Seed      uint64
+	// Tweak adjusts the machine configuration after class defaults
+	// (ablation benches use it).
+	Tweak func(mc *machine.Config)
+	// SkipVerify skips the numerical check (benchmarks that time very
+	// few iterations on purpose may not converge).
+	SkipVerify bool
+}
+
+// Label renders the paper's bar labels, e.g. "rr-IRIXmig" or "ft-upmlib".
+func (c Config) Label() string {
+	switch {
+	case c.UPM == UPMRecRep:
+		return c.Placement.String() + "-recrep"
+	case c.UPM == UPMDistribute:
+		return c.Placement.String() + "-upmlib"
+	case c.KernelMig:
+		return c.Placement.String() + "-IRIXmig"
+	default:
+		return c.Placement.String() + "-IRIX"
+	}
+}
+
+// Result reports one run.
+type Result struct {
+	Kernel string
+	Label  string
+	Class  Class
+
+	TotalPS int64   // virtual time of the main loop
+	ColdPS  int64   // virtual time of the cold-start iteration
+	IterPS  []int64 // per-iteration virtual times
+	PhasePS []int64 // per-iteration marked-phase durations (BT/SP)
+
+	UPM        upm.Stats
+	KmigMoves  int64
+	KmigCost   int64
+	Mach       machine.Stats
+	PagesTotal int // hot pages monitored
+
+	Verified  bool
+	VerifyErr error
+}
+
+// Seconds returns the main-loop virtual time in seconds.
+func (r Result) Seconds() float64 { return float64(r.TotalPS) / 1e12 }
+
+// String summarises the run.
+func (r Result) String() string {
+	return fmt.Sprintf("%s.%s %-12s %8.4fs  iters=%d  remote=%.1f%%  upmMig=%d  kmig=%d",
+		r.Kernel, r.Class, r.Label, r.Seconds(), len(r.IterPS),
+		100*r.Mach.RemoteRatio(), r.UPM.Migrations+r.UPM.ReplayMigrations, r.KmigMoves)
+}
+
+// Run executes one benchmark under one configuration and returns its
+// result. The protocol follows the paper:
+//
+//  1. allocate and initialise, 2. run one cold-start iteration (serial
+//     mode, results discarded) so first-touch placement happens exactly as
+//     in the tuned NAS codes, 3. reset counters, 4. run the timed main
+//     loop with the configured migration engines, 5. verify.
+func Run(build Builder, cfg Config) (Result, error) {
+	mc := machine.DefaultConfig()
+	cfg.Class.MachineTweak(&mc)
+	mc.Placement = cfg.Placement
+	mc.Seed = cfg.Seed
+	if cfg.Tweak != nil {
+		cfg.Tweak(&mc)
+	}
+	m, err := machine.New(mc)
+	if err != nil {
+		return Result{}, err
+	}
+	scale := cfg.ComputeScale
+	if scale < 1 {
+		scale = 1
+	}
+	k := build(m, cfg.Class, scale, cfg.Seed)
+	if cfg.UPM == UPMRecRep && !k.HasPhase() {
+		return Result{}, fmt.Errorf("nas: %s has no phase change; record-replay does not apply", k.Name())
+	}
+
+	// The kernel engine is enabled after the cold start: the timed main
+	// loop is where the paper's engines compete, and letting it repair
+	// placement during the untimed cold start would credit it with free
+	// migrations no real run gets.
+	eng := kmig.Attach(m, cfg.Kmig)
+	eng.SetEnabled(false)
+
+	threads := cfg.Threads
+	if threads == 0 {
+		threads = m.NumCPUs()
+	}
+	team, err := omp.NewTeam(m, threads)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Parallel initialisation plus one cold-start iteration: the tuned
+	// NAS codes initialise in parallel and execute the complete parallel
+	// computation once before the timed loop purely to let first-touch
+	// place the pages. Serial mode makes fault resolution deterministic;
+	// results are discarded.
+	team.SetSerial(true)
+	k.InitTouch(team)
+	k.Step(team, nil)
+	team.SetSerial(false)
+	k.Reinit()
+	m.PT.ResetAllCounters()
+	eng.SetEnabled(cfg.KernelMig)
+
+	var u *upm.UPM
+	if cfg.UPM != UPMOff {
+		u = upm.Init(m, cfg.UPMOptions)
+		for _, r := range k.HotPages() {
+			u.MemRefCnt(r[0], r[1])
+		}
+	}
+
+	master := team.Master()
+	res := Result{Kernel: k.Name(), Label: cfg.Label(), Class: cfg.Class, ColdPS: master.Now()}
+	niter := cfg.Iterations
+	if niter == 0 {
+		niter = k.DefaultIterations()
+	}
+	start := master.Now()
+	reactivated := false
+	for step := 1; step <= niter; step++ {
+		iterStart := master.Now()
+		hooks := stepHooks(u, cfg.UPM, step)
+		k.Step(team, hooks)
+		switch cfg.UPM {
+		case UPMDistribute:
+			// Figure 2: invoke after step 1 and then for as long as
+			// the previous invocation migrated something (or after a
+			// scheduler perturbation re-armed the engine).
+			if step == 1 || reactivated || (u.Active() && u.LastMigrations() > 0) {
+				u.MigrateMemory(master)
+				reactivated = false
+			}
+		case UPMRecRep:
+			// Figure 3: the initial distribution is approximated
+			// after the first iteration only.
+			if step == 1 {
+				u.MigrateMemory(master)
+			}
+		}
+		res.IterPS = append(res.IterPS, master.Now()-iterStart)
+		if hooks != nil {
+			res.PhasePS = append(res.PhasePS, hooks.phasePS)
+		} else {
+			res.PhasePS = append(res.PhasePS, 0)
+		}
+		if cfg.PerturbAt != 0 && step == cfg.PerturbAt {
+			// The "OS" migrates every thread one node over.
+			perm := team.Binding()
+			shift := mc.CPUsPerNode
+			rotated := make([]int, len(perm))
+			for i := range perm {
+				rotated[i] = perm[(i+shift)%len(perm)]
+			}
+			if err := team.SetBinding(rotated); err != nil {
+				return Result{}, err
+			}
+			master = team.Master()
+			if u != nil {
+				u.Reactivate()
+				reactivated = true
+			}
+		}
+	}
+	res.TotalPS = master.Now() - start
+
+	if u != nil {
+		res.UPM = u.Stats()
+	}
+	res.KmigMoves = eng.Migrations()
+	res.KmigCost = eng.Cost()
+	res.Mach = m.Stats()
+	for _, r := range k.HotPages() {
+		res.PagesTotal += int(r[1] - r[0])
+	}
+	if !cfg.SkipVerify {
+		res.VerifyErr = k.Verify()
+		res.Verified = res.VerifyErr == nil
+	}
+	return res, nil
+}
+
+// stepHooks builds the record–replay hooks of the paper's Figure 3 for
+// the given step: step 2 records around the phase and compares; later
+// steps replay before it and undo after it.
+func stepHooks(u *upm.UPM, mode Mode, step int) *Hooks {
+	if u == nil || mode != UPMRecRep {
+		return &Hooks{}
+	}
+	h := &Hooks{}
+	switch {
+	case step == 1:
+		// Plain first iteration; MigrateMemory runs after it.
+	case step == 2:
+		h.BeforePhase = func(c *machine.CPU) { u.Record(c) }
+		h.AfterPhase = func(c *machine.CPU) {
+			u.Record(c)
+			u.CompareCounters(c)
+		}
+	default:
+		h.BeforePhase = func(c *machine.CPU) { u.Replay(c) }
+		h.AfterPhase = func(c *machine.CPU) { u.Undo(c) }
+	}
+	return h
+}

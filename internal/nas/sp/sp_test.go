@@ -1,0 +1,152 @@
+package sp
+
+import (
+	"math"
+	"testing"
+
+	"upmgo/internal/machine"
+	"upmgo/internal/nas"
+	"upmgo/internal/omp"
+	"upmgo/internal/vm"
+)
+
+func mkSP(t *testing.T) (*machine.Machine, *SP, *omp.Team) {
+	t.Helper()
+	mc := machine.DefaultConfig()
+	nas.ClassS.MachineTweak(&mc)
+	m := machine.MustNew(mc)
+	s := New(m, nas.ClassS, 1, 0).(*SP)
+	return m, s, omp.MustTeam(m, m.NumCPUs())
+}
+
+func TestResidualDecreasesMonotonically(t *testing.T) {
+	_, s, team := mkSP(t)
+	prev := s.ResidualNorm()
+	if prev == 0 {
+		t.Fatal("initial residual is zero")
+	}
+	for i := 0; i < 5; i++ {
+		s.Step(team, nil)
+		res := s.ResidualNorm()
+		if math.IsNaN(res) || res >= prev {
+			t.Fatalf("step %d: residual %g did not decrease from %g", i+1, res, prev)
+		}
+		prev = res
+	}
+}
+
+func TestConvergesToManufacturedSolution(t *testing.T) {
+	_, s, team := mkSP(t)
+	e0 := s.ErrorNorm()
+	for i := 0; i < 12; i++ {
+		s.Step(team, nil)
+	}
+	if e := s.ErrorNorm(); e >= 0.2*e0 {
+		t.Errorf("error %g after 12 steps, want < 20%% of initial %g", e, e0)
+	}
+	if err := s.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestPentaSolverAgainstDenseReference(t *testing.T) {
+	// Solve one pentadiagonal system and verify A*x = f by direct
+	// multiplication with the band stencil.
+	_, s, _ := mkSP(t)
+	m := s.m
+	c := m.CPU(0)
+	const L = 7
+	lam2, lam4 := 1.3, 0.11
+	f := []float64{1, -2, 3, 0.5, -1.5, 2.5, 0.25}
+	scratch := m.NewArray("penta", L)
+	for i, v := range f {
+		scratch.Set(c, i, v)
+	}
+	// Point the solver's rhs at the scratch array via a tiny shim: reuse
+	// rhs storage offsets 0..L-1.
+	rhs := s.rhs
+	for i, v := range f {
+		rhs.Set(c, i, v)
+	}
+	alpha := make([]float64, L)
+	dd := make([]float64, L)
+	ff := make([]float64, L)
+	s.solvePenta(c, lam2, lam4, L, alpha, dd, ff, func(p int) int { return p })
+	x := make([]float64, L)
+	for i := 0; i < L; i++ {
+		x[i] = rhs.Data()[i]
+	}
+	e2 := lam4
+	e1 := -lam2 - 4*lam4
+	d0 := 1 + 2*lam2 + 6*lam4
+	get := func(i int) float64 {
+		if i < 0 || i >= L {
+			return 0
+		}
+		return x[i]
+	}
+	for i := 0; i < L; i++ {
+		ax := e2*get(i-2) + e1*get(i-1) + d0*get(i) + e1*get(i+1) + e2*get(i+2)
+		if math.Abs(ax-f[i]) > 1e-10 {
+			t.Errorf("row %d: A*x = %g, want %g", i, ax, f[i])
+		}
+	}
+}
+
+func TestResultsIndependentOfPlacement(t *testing.T) {
+	run := func(p vm.Policy) float64 {
+		mc := machine.DefaultConfig()
+		nas.ClassS.MachineTweak(&mc)
+		mc.Placement = p
+		m := machine.MustNew(mc)
+		s := New(m, nas.ClassS, 1, 0).(*SP)
+		team := omp.MustTeam(m, m.NumCPUs())
+		for i := 0; i < 3; i++ {
+			s.Step(team, nil)
+		}
+		return s.ResidualNorm()
+	}
+	if ft, wc := run(vm.FirstTouch), run(vm.WorstCase); ft != wc {
+		t.Errorf("residual depends on placement: %g vs %g", ft, wc)
+	}
+}
+
+func TestPhaseHooksAndHotPages(t *testing.T) {
+	_, s, team := mkSP(t)
+	if !s.HasPhase() {
+		t.Error("SP must expose its z_solve phase")
+	}
+	if len(s.HotPages()) != 3 {
+		t.Errorf("HotPages = %d ranges, want 3", len(s.HotPages()))
+	}
+	entered := 0
+	h := &nas.Hooks{BeforePhase: func(c *machine.CPU) { entered++ }}
+	s.Step(team, h)
+	if entered != 1 {
+		t.Errorf("phase entered %d times, want 1", entered)
+	}
+}
+
+func TestReinit(t *testing.T) {
+	_, s, team := mkSP(t)
+	s.Step(team, nil)
+	s.Reinit()
+	for i, v := range s.u.Data() {
+		if v != 0 {
+			t.Fatalf("u[%d] = %g after Reinit", i, v)
+		}
+	}
+}
+
+func TestDriverEndToEnd(t *testing.T) {
+	r, err := nas.Run(New, nas.Config{Class: nas.ClassS, Placement: vm.FirstTouch, UPM: nas.UPMRecRep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Verified {
+		t.Errorf("SP recrep run failed verification: %v", r.VerifyErr)
+	}
+	if r.Kernel != "SP" {
+		t.Errorf("kernel = %q", r.Kernel)
+	}
+}

@@ -1,0 +1,91 @@
+// Package topology models the interconnection network of a ccNUMA
+// multiprocessor as a (fat) hypercube, the topology of the SGI Origin2000
+// evaluated by the paper. The only property the memory system needs from
+// the network is the hop distance between the node of an accessing
+// processor and the node that homes a page; the latency ladder of Table 1
+// in the paper is indexed by that distance.
+package topology
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Hypercube is an N-node hypercube. Node identifiers are 0..N-1 and the
+// hop distance between two nodes is the Hamming distance of their
+// identifiers, exactly as in a binary hypercube. N must be a power of two;
+// the Origin2000 router pairs two nodes per router vertex, which shortens
+// some routes — we model the plain hypercube and fold the vendor-measured
+// effect into the latency table instead.
+type Hypercube struct {
+	n   int
+	dim int
+}
+
+// NewHypercube returns a hypercube with n nodes. n must be a power of two
+// and at least 1.
+func NewHypercube(n int) (*Hypercube, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("topology: node count %d is not a power of two", n)
+	}
+	return &Hypercube{n: n, dim: bits.TrailingZeros(uint(n))}, nil
+}
+
+// MustHypercube is NewHypercube for statically known sizes; it panics on a
+// bad size.
+func MustHypercube(n int) *Hypercube {
+	h, err := NewHypercube(n)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Nodes returns the number of nodes.
+func (h *Hypercube) Nodes() int { return h.n }
+
+// Dim returns the dimension of the cube (log2 of the node count).
+func (h *Hypercube) Dim() int { return h.dim }
+
+// Hops returns the network distance in router hops between nodes a and b.
+// It is 0 for a == b. Hops panics if either node is out of range, because
+// a bad node id here always indicates memory-system corruption upstream.
+func (h *Hypercube) Hops(a, b int) int {
+	if a < 0 || a >= h.n || b < 0 || b >= h.n {
+		panic(fmt.Sprintf("topology: node out of range: Hops(%d,%d) on %d nodes", a, b, h.n))
+	}
+	return bits.OnesCount(uint(a ^ b))
+}
+
+// Neighbors returns the node ids adjacent to node a (one per dimension),
+// in ascending dimension order.
+func (h *Hypercube) Neighbors(a int) []int {
+	if a < 0 || a >= h.n {
+		panic(fmt.Sprintf("topology: node %d out of range (%d nodes)", a, h.n))
+	}
+	out := make([]int, h.dim)
+	for d := 0; d < h.dim; d++ {
+		out[d] = a ^ (1 << d)
+	}
+	return out
+}
+
+// ByDistance returns all node ids ordered by increasing hop distance from
+// node a, ties broken by ascending node id. The first element is a itself.
+// The memory manager uses this for best-effort forwarding when a migration
+// target is full: the page lands on the closest node with free capacity,
+// mirroring the IRIX behaviour the paper describes.
+func (h *Hypercube) ByDistance(a int) []int {
+	out := make([]int, 0, h.n)
+	for d := 0; d <= h.dim; d++ {
+		for b := 0; b < h.n; b++ {
+			if h.Hops(a, b) == d {
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}
+
+// MaxHops returns the network diameter.
+func (h *Hypercube) MaxHops() int { return h.dim }

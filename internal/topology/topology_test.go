@@ -1,0 +1,170 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHypercubeValidSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		h, err := NewHypercube(n)
+		if err != nil {
+			t.Fatalf("NewHypercube(%d): %v", n, err)
+		}
+		if h.Nodes() != n {
+			t.Errorf("Nodes() = %d, want %d", h.Nodes(), n)
+		}
+	}
+}
+
+func TestNewHypercubeRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{0, -1, 3, 5, 6, 7, 9, 12, 100} {
+		if _, err := NewHypercube(n); err == nil {
+			t.Errorf("NewHypercube(%d) succeeded, want error", n)
+		}
+	}
+}
+
+func TestMustHypercubePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustHypercube(3) did not panic")
+		}
+	}()
+	MustHypercube(3)
+}
+
+func TestHopsKnownValues(t *testing.T) {
+	h := MustHypercube(8)
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 2, 1},
+		{0, 3, 2},
+		{0, 7, 3},
+		{5, 2, 3}, // 101 ^ 010 = 111
+		{6, 4, 1},
+	}
+	for _, c := range cases {
+		if got := h.Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHopsPanicsOutOfRange(t *testing.T) {
+	h := MustHypercube(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("Hops(0,4) did not panic")
+		}
+	}()
+	h.Hops(0, 4)
+}
+
+// Property: hop distance is a metric (symmetric, zero iff equal, triangle
+// inequality) on every hypercube size we use.
+func TestHopsIsAMetric(t *testing.T) {
+	h := MustHypercube(16)
+	f := func(a, b, c uint8) bool {
+		x, y, z := int(a)%16, int(b)%16, int(c)%16
+		if h.Hops(x, y) != h.Hops(y, x) {
+			return false
+		}
+		if (h.Hops(x, y) == 0) != (x == y) {
+			return false
+		}
+		return h.Hops(x, z) <= h.Hops(x, y)+h.Hops(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	h := MustHypercube(8)
+	got := h.Neighbors(5) // 101 -> 100, 111, 001
+	want := []int{4, 7, 1}
+	if len(got) != len(want) {
+		t.Fatalf("Neighbors(5) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Neighbors(5)[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	for _, nb := range got {
+		if h.Hops(5, nb) != 1 {
+			t.Errorf("neighbor %d at distance %d, want 1", nb, h.Hops(5, nb))
+		}
+	}
+}
+
+func TestByDistanceOrderingAndCompleteness(t *testing.T) {
+	h := MustHypercube(16)
+	for a := 0; a < 16; a++ {
+		order := h.ByDistance(a)
+		if len(order) != 16 {
+			t.Fatalf("ByDistance(%d) returned %d nodes", a, len(order))
+		}
+		if order[0] != a {
+			t.Errorf("ByDistance(%d)[0] = %d, want self", a, order[0])
+		}
+		seen := make(map[int]bool)
+		prev := -1
+		for _, b := range order {
+			if seen[b] {
+				t.Fatalf("ByDistance(%d) repeats node %d", a, b)
+			}
+			seen[b] = true
+			d := h.Hops(a, b)
+			if d < prev {
+				t.Fatalf("ByDistance(%d) not sorted: node %d at distance %d after distance %d", a, b, d, prev)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestMaxHops(t *testing.T) {
+	for _, c := range []struct{ n, want int }{{1, 0}, {2, 1}, {8, 3}, {16, 4}} {
+		if got := MustHypercube(c.n).MaxHops(); got != c.want {
+			t.Errorf("MaxHops(%d nodes) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+// Property: every node has exactly dim neighbours at distance 1, and the
+// number of nodes at distance d from any node is C(dim, d).
+func TestDistanceDistribution(t *testing.T) {
+	h := MustHypercube(32) // dim 5
+	binom := []int{1, 5, 10, 10, 5, 1}
+	for a := 0; a < 32; a++ {
+		counts := make([]int, 6)
+		for b := 0; b < 32; b++ {
+			counts[h.Hops(a, b)]++
+		}
+		for d, want := range binom {
+			if counts[d] != want {
+				t.Errorf("node %d: %d nodes at distance %d, want %d", a, counts[d], d, want)
+			}
+		}
+	}
+}
+
+func TestDim(t *testing.T) {
+	for _, c := range []struct{ n, want int }{{1, 0}, {2, 1}, {8, 3}, {64, 6}} {
+		if got := MustHypercube(c.n).Dim(); got != c.want {
+			t.Errorf("Dim(%d nodes) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestNeighborsPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Neighbors(9) on 8 nodes did not panic")
+		}
+	}()
+	MustHypercube(8).Neighbors(9)
+}

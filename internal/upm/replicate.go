@@ -1,0 +1,134 @@
+package upm
+
+import (
+	"math/bits"
+	"sort"
+
+	"upmgo/internal/machine"
+)
+
+// Read-only page replication — the extension the paper sketches in one
+// sentence ("Read-only pages can be replicated in multiple nodes") but
+// does not implement. The policy mirrors the iterative data-distribution
+// mechanism: after an iteration has exposed the reference trace in the
+// hardware counters, replicate every hot page that (a) has not been
+// written since tracking began and (b) is read substantially from several
+// nodes, onto its top reader nodes. Writes to a replicated page collapse
+// the copies (the machine charges the invalidation), so a wrong guess
+// costs one shootdown rather than correctness.
+
+// ReplicationOptions tunes ReplicateReadOnly. Zero values take defaults.
+type ReplicationOptions struct {
+	// MinReads is the per-node read count that makes a node worth a
+	// copy. Default 64.
+	MinReads uint32
+	// MaxReplicas bounds copies per page (beyond the home). Default 3.
+	MaxReplicas int
+	// MaxPages bounds how many pages one call replicates. Default 256.
+	MaxPages int
+}
+
+func (o *ReplicationOptions) setDefaults() {
+	if o.MinReads == 0 {
+		o.MinReads = 64
+	}
+	if o.MaxReplicas == 0 {
+		o.MaxReplicas = 3
+	}
+	if o.MaxPages == 0 {
+		o.MaxPages = 256
+	}
+}
+
+// EnableWriteTracking arms the page-level write log that ReplicateReadOnly
+// consults; call it before the iteration whose trace will drive the
+// replication decision.
+func (u *UPM) EnableWriteTracking() {
+	u.m.PT.SetWriteTracking(true)
+	u.m.PT.ResetWritten()
+}
+
+// ReplicateReadOnly scans the hot areas and replicates pages that the
+// trace shows to be multi-node read-only, onto their strongest reader
+// nodes. It returns the number of copies created and charges the caller
+// for the scan and the page copies (replication is a batched user-level
+// operation like MigrateMemory, so a single shootdown round suffices to
+// downgrade the writers' mappings).
+func (u *UPM) ReplicateReadOnly(c *machine.CPU, opt ReplicationOptions) int {
+	opt.setDefaults()
+	if !u.m.PT.WriteTracking() {
+		panic("upm: ReplicateReadOnly requires EnableWriteTracking before the traced iteration")
+	}
+	pt := u.m.PT
+	type cand struct {
+		vpn   uint64
+		nodes []int
+		heat  uint32
+	}
+	var cands []cand
+	var scanned int64
+	u.hotPages(func(vpn uint64) {
+		scanned++
+		if pt.Written(vpn) || pt.Home(vpn) < 0 {
+			return
+		}
+		row := pt.Counters(vpn, u.row)
+		home := pt.Home(vpn)
+		var nodes []int
+		var heat uint32
+		for n, cnt := range row {
+			if n != home && cnt >= opt.MinReads {
+				nodes = append(nodes, n)
+				heat += cnt
+			}
+		}
+		if len(nodes) < 2 {
+			// A single remote reader is a migration candidate, not a
+			// replication one; leave it to MigrateMemory.
+			return
+		}
+		if len(nodes) > opt.MaxReplicas {
+			sort.Slice(nodes, func(i, j int) bool {
+				if row[nodes[i]] != row[nodes[j]] {
+					return row[nodes[i]] > row[nodes[j]]
+				}
+				return nodes[i] < nodes[j]
+			})
+			nodes = nodes[:opt.MaxReplicas]
+		}
+		cands = append(cands, cand{vpn: vpn, nodes: nodes, heat: heat})
+	})
+	u.charge(c, scanned*u.opt.ScanCostPerPage)
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].heat != cands[j].heat {
+			return cands[i].heat > cands[j].heat
+		}
+		return cands[i].vpn < cands[j].vpn
+	})
+	if len(cands) > opt.MaxPages {
+		cands = cands[:opt.MaxPages]
+	}
+	created := 0
+	for _, cd := range cands {
+		for _, n := range cd.nodes {
+			if pt.Replicate(cd.vpn, n) {
+				created++
+				u.charge(c, u.pageMoveCost())
+			}
+		}
+	}
+	if created > 0 {
+		u.charge(c, u.m.ShootdownCost())
+	}
+	u.stats.Replications += int64(created)
+	return created
+}
+
+// replicaNodes decodes a replica bitmask for diagnostics.
+func replicaNodes(mask uint32) []int {
+	var out []int
+	for m := mask; m != 0; m &= m - 1 {
+		out = append(out, bits.TrailingZeros32(m))
+	}
+	return out
+}

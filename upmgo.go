@@ -1,0 +1,236 @@
+// Package upmgo is a full reproduction of "Is Data Distribution Necessary
+// in OpenMP?" (Nikolopoulos, Papatheodorou, Polychronopoulos, Labarta,
+// Ayguadé — SC'2000, Best Paper) as a self-contained Go library.
+//
+// The paper's question: do OpenMP programs on ccNUMA machines need
+// HPF-style data distribution directives, or can transparent, user-level
+// dynamic page migration deliver the same locality? Its answer — no
+// directives needed — rests on experiments this library regenerates on a
+// simulated SGI Origin2000:
+//
+//   - a ccNUMA machine simulator (hypercube topology, caches, TLB, paged
+//     memory with per-page per-node reference counters, virtual time,
+//     memory-node contention) — package internal/machine and friends;
+//   - an OpenMP-like fork/join runtime — internal/omp;
+//   - the IRIX-style kernel competitive page migration engine —
+//     internal/kmig;
+//   - UPMlib, the paper's user-level page migration engine with the
+//     iterative data-distribution mechanism and the record–replay
+//     redistribution mechanism — internal/upm;
+//   - OpenMP NAS benchmark reproductions (BT, SP, CG, MG, FT) —
+//     internal/nas/...;
+//   - an experiment harness regenerating every table and figure —
+//     internal/exp.
+//
+// This package is the public facade: it re-exports the types and
+// functions a downstream user needs to build machines, run OpenMP-style
+// kernels on them, attach either migration engine, run the NAS
+// reproductions, and regenerate the paper's evaluation. The examples/
+// directory shows the API end-to-end.
+package upmgo
+
+import (
+	"io"
+
+	"upmgo/internal/exp"
+	"upmgo/internal/kmig"
+	"upmgo/internal/machine"
+	"upmgo/internal/memsys"
+	"upmgo/internal/nas"
+	"upmgo/internal/omp"
+	"upmgo/internal/upm"
+	"upmgo/internal/vm"
+)
+
+// Machine simulation.
+type (
+	// Machine is the simulated ccNUMA multiprocessor.
+	Machine = machine.Machine
+	// MachineConfig configures a Machine.
+	MachineConfig = machine.Config
+	// CPU is one simulated processor with a virtual clock.
+	CPU = machine.CPU
+	// Array is a float64 array in simulated memory.
+	Array = machine.Array
+	// IntArray is an int32 array in simulated memory.
+	IntArray = machine.IntArray
+	// Array3 and Array4 are dense multi-dimensional views.
+	Array3 = machine.Array3
+	Array4 = machine.Array4
+	// MachineStats aggregates memory-system counters.
+	MachineStats = machine.Stats
+	// CPUStatsT counts one CPU's memory-system events.
+	CPUStatsT = machine.CPUStats
+	// Latency is the machine's timing model.
+	Latency = memsys.Latency
+)
+
+// NewMachine builds a simulated machine.
+func NewMachine(cfg MachineConfig) (*Machine, error) { return machine.New(cfg) }
+
+// DefaultMachineConfig returns the paper's 16-processor Origin2000.
+func DefaultMachineConfig() MachineConfig { return machine.DefaultConfig() }
+
+// Origin2000Latency returns the paper's Table 1 latency model.
+func Origin2000Latency() Latency { return memsys.Origin2000() }
+
+// Page placement policies (the paper's four schemes).
+type Policy = vm.Policy
+
+const (
+	// FirstTouch places pages with their first toucher (IRIX default;
+	// the scheme the NAS codes are tuned for).
+	FirstTouch = vm.FirstTouch
+	// RoundRobin stripes pages across nodes.
+	RoundRobin = vm.RoundRobin
+	// Random places pages on seeded-random nodes.
+	Random = vm.Random
+	// WorstCase places every page on node 0 (buddy-allocator behaviour).
+	WorstCase = vm.WorstCase
+)
+
+// Policies lists all placement schemes in the paper's order.
+var Policies = vm.Policies
+
+// OpenMP-like runtime.
+type (
+	// Team is a fork/join group of simulated threads.
+	Team = omp.Team
+	// Thread is the per-member view inside a parallel region.
+	Thread = omp.Thread
+	// Schedule selects a worksharing loop schedule.
+	Schedule = omp.Schedule
+	// EventSet provides point-to-point post/wait synchronisation for
+	// pipelined (wavefront) parallel regions, as in NAS LU.
+	EventSet = omp.EventSet
+)
+
+// NewTeam creates a team of n simulated threads on m.
+func NewTeam(m *Machine, n int) (*Team, error) { return omp.NewTeam(m, n) }
+
+// StaticSchedule returns OpenMP SCHEDULE(STATIC).
+func StaticSchedule() Schedule { return omp.Static() }
+
+// StaticChunkSchedule returns SCHEDULE(STATIC, chunk).
+func StaticChunkSchedule(chunk int) Schedule { return omp.StaticChunk(chunk) }
+
+// DynamicSchedule returns SCHEDULE(DYNAMIC, chunk).
+func DynamicSchedule(chunk int) Schedule { return omp.Dynamic(chunk) }
+
+// GuidedSchedule returns SCHEDULE(GUIDED).
+func GuidedSchedule(minChunk int) Schedule { return omp.Guided(minChunk) }
+
+// Nowait removes a worksharing loop's implicit barrier.
+var Nowait = omp.Nowait
+
+// NewEventSet creates post/wait cells (tags per thread) on a team for
+// pipelined parallelism.
+func NewEventSet(t *Team, tags int) *EventSet { return omp.NewEventSet(t, tags) }
+
+// UPMlib — the paper's user-level page migration engine.
+type (
+	// UPM is an attached UPMlib instance.
+	UPM = upm.UPM
+	// UPMOptions tunes the engine (zero values = paper defaults).
+	UPMOptions = upm.Options
+	// UPMStats reports engine activity.
+	UPMStats = upm.Stats
+	// ReplicationOptions tunes the read-only page replication extension
+	// (UPM.EnableWriteTracking + UPM.ReplicateReadOnly).
+	ReplicationOptions = upm.ReplicationOptions
+)
+
+// NewUPM attaches a UPMlib engine to m (upmlib_init).
+func NewUPM(m *Machine, opt UPMOptions) *UPM { return upm.Init(m, opt) }
+
+// Kernel-level competitive migration engine (the IRIX baseline).
+type (
+	// KernelMigEngine is the IRIX-style engine.
+	KernelMigEngine = kmig.Engine
+	// KernelMigConfig tunes it.
+	KernelMigConfig = kmig.Config
+)
+
+// AttachKernelMigration attaches the kernel engine to m's barriers.
+func AttachKernelMigration(m *Machine, cfg KernelMigConfig) *KernelMigEngine {
+	return kmig.Attach(m, cfg)
+}
+
+// NAS benchmark reproductions.
+type (
+	// NASConfig selects one benchmark run configuration.
+	NASConfig = nas.Config
+	// NASResult reports one run.
+	NASResult = nas.Result
+	// NASClass scales a benchmark (S, W, A).
+	NASClass = nas.Class
+	// UPMMode selects the UPMlib protocol for a NAS run.
+	UPMMode = nas.Mode
+)
+
+// NAS problem classes and UPMlib protocols.
+const (
+	ClassS = nas.ClassS
+	ClassW = nas.ClassW
+	ClassA = nas.ClassA
+
+	UPMOff        = nas.UPMOff
+	UPMDistribute = nas.UPMDistribute
+	UPMRecRep     = nas.UPMRecRep
+)
+
+// NASBenchmarks lists the benchmark names in the paper's order.
+var NASBenchmarks = exp.BenchOrder
+
+// RunNAS runs one NAS benchmark ("BT", "SP", "CG", "MG" or "FT") under
+// the given configuration.
+func RunNAS(name string, cfg NASConfig) (NASResult, error) {
+	b, ok := exp.Builder(name)
+	if !ok {
+		return NASResult{}, errUnknownBenchmark(name)
+	}
+	return nas.Run(b, cfg)
+}
+
+type errUnknownBenchmark string
+
+func (e errUnknownBenchmark) Error() string {
+	return "upmgo: unknown NAS benchmark " + string(e) + ` (want "BT", "SP", "CG", "MG", "FT", or the "LU"/"EP"/"IS" extensions)`
+}
+
+// Experiment harness — the paper's tables and figures.
+type (
+	// ExperimentCell is one bar of Figure 1/4.
+	ExperimentCell = exp.Cell
+	// SweepOptions selects the scope of a figure sweep.
+	SweepOptions = exp.SweepOptions
+	// Table2Row is one line of the paper's Table 2.
+	Table2Row = exp.Table2Row
+	// Figure5Cell is one bar of Figure 5/6 with its overhead split.
+	Figure5Cell = exp.Figure5Cell
+)
+
+// WriteTable1 renders the paper's Table 1 (hierarchy latencies) to w.
+func WriteTable1(w io.Writer) error { return exp.WriteTable1(w) }
+
+// WriteCellsCSV renders Figure 1/4 cells as CSV for external plotting.
+func WriteCellsCSV(w io.Writer, cells []ExperimentCell) { exp.WriteCellsCSV(w, cells) }
+
+// Figure1 regenerates the paper's Figure 1 (placement × kernel migration).
+func Figure1(o SweepOptions) ([]ExperimentCell, error) { return exp.Figure1(o) }
+
+// Figure4 regenerates the paper's Figure 4 (Figure 1 plus UPMlib).
+func Figure4(o SweepOptions) ([]ExperimentCell, error) { return exp.Figure4(o) }
+
+// Table2 regenerates the paper's Table 2 (steady-state slowdown and
+// first-iteration migration fractions).
+func Table2(o SweepOptions) ([]Table2Row, error) { return exp.Table2(o) }
+
+// Figure5 regenerates the paper's Figure 5 (record–replay on BT and SP).
+func Figure5(o SweepOptions) ([]Figure5Cell, error) {
+	return exp.Figure5(o, nil, 1)
+}
+
+// Figure6 regenerates the paper's Figure 6 (record–replay on the
+// synthetically scaled BT).
+func Figure6(o SweepOptions) ([]Figure5Cell, error) { return exp.Figure6(o) }

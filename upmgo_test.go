@@ -1,0 +1,133 @@
+// Integration tests of the public facade: everything a downstream user
+// does — building machines, running OpenMP-style loops, attaching both
+// migration engines, running the NAS reproductions — through the exported
+// API only.
+package upmgo_test
+
+import (
+	"strings"
+	"testing"
+
+	"upmgo"
+)
+
+func TestPublicMachineAndTeam(t *testing.T) {
+	m, err := upmgo.NewMachine(upmgo.DefaultMachineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumCPUs() != 16 {
+		t.Errorf("NumCPUs = %d, want 16", m.NumCPUs())
+	}
+	a := m.NewArray("a", 4096)
+	team, err := upmgo.NewTeam(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	team.Parallel(func(tr *upmgo.Thread) {
+		tr.For(0, a.Len(), upmgo.StaticSchedule(), func(c *upmgo.CPU, from, to int) {
+			for i := from; i < to; i++ {
+				a.Set(c, i, float64(i))
+			}
+		})
+	})
+	if a.Data()[100] != 100 {
+		t.Errorf("a[100] = %v, want 100", a.Data()[100])
+	}
+	if team.Master().Now() <= 0 {
+		t.Error("virtual time did not advance")
+	}
+}
+
+func TestPublicUPMEngine(t *testing.T) {
+	cfg := upmgo.DefaultMachineConfig()
+	cfg.Placement = upmgo.WorstCase
+	m, err := upmgo.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.NewArray("a", 16*2048)
+	lo, hi := a.PageRange()
+	for p := lo; p < hi; p++ {
+		m.PT.Resolve(p, 0)
+	}
+	u := upmgo.NewUPM(m, upmgo.UPMOptions{})
+	u.MemRefCnt(lo, hi)
+	for i := 0; i < 100; i++ {
+		m.PT.CountMiss(lo, 3)
+	}
+	if n := u.MigrateMemory(m.CPU(0)); n != 1 {
+		t.Errorf("MigrateMemory moved %d pages, want 1", n)
+	}
+	if m.PT.Home(lo) != 3 {
+		t.Errorf("page homed on %d, want 3", m.PT.Home(lo))
+	}
+}
+
+func TestPublicKernelEngine(t *testing.T) {
+	m, err := upmgo.NewMachine(upmgo.DefaultMachineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := upmgo.AttachKernelMigration(m, upmgo.KernelMigConfig{Threshold: 8})
+	if !e.Enabled() {
+		t.Error("engine not enabled after attach")
+	}
+	a := m.NewArray("a", 2048)
+	lo, _ := a.PageRange()
+	m.PT.Resolve(lo, 0)
+	for i := 0; i < 100; i++ {
+		m.PT.CountMiss(lo, 6)
+	}
+	m.Settle(m.CPUs()[:1], 0)
+	if e.Migrations() != 1 {
+		t.Errorf("kernel engine migrated %d pages, want 1", e.Migrations())
+	}
+}
+
+func TestPublicRunNASAllBenchmarks(t *testing.T) {
+	for _, name := range upmgo.NASBenchmarks {
+		r, err := upmgo.RunNAS(name, upmgo.NASConfig{Class: upmgo.ClassS, Seed: 42})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !r.Verified {
+			t.Errorf("%s failed verification: %v", name, r.VerifyErr)
+		}
+		if r.Kernel != name {
+			t.Errorf("result kernel %q, want %q", r.Kernel, name)
+		}
+	}
+}
+
+func TestPublicRunNASUnknownName(t *testing.T) {
+	_, err := upmgo.RunNAS("UA", upmgo.NASConfig{})
+	if err == nil || !strings.Contains(err.Error(), "UA") {
+		t.Errorf("unknown benchmark error = %v", err)
+	}
+}
+
+func TestPublicLatencyScaling(t *testing.T) {
+	l := upmgo.Origin2000Latency().ScaleRemote(2, 1)
+	if l.MemLatency(0) != upmgo.Origin2000Latency().MemLatency(0) {
+		t.Error("local latency changed")
+	}
+	if l.MemLatency(1) <= upmgo.Origin2000Latency().MemLatency(1) {
+		t.Error("remote latency not scaled up")
+	}
+}
+
+func TestPublicPolicies(t *testing.T) {
+	if len(upmgo.Policies) != 4 {
+		t.Errorf("Policies has %d entries, want 4", len(upmgo.Policies))
+	}
+	labels := map[upmgo.Policy]string{
+		upmgo.FirstTouch: "ft", upmgo.RoundRobin: "rr",
+		upmgo.Random: "rand", upmgo.WorstCase: "wc",
+	}
+	for p, want := range labels {
+		if p.String() != want {
+			t.Errorf("%v.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}
