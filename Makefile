@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench sweep examples clean
+.PHONY: all build test race bench bench-host sweep examples clean
 
 all: build test
 
@@ -16,6 +16,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Host-side (wall clock) effect of the bulk-access fast path: the raw
+# scalar-vs-run sweep, then a full benchmark under both charging modes.
+bench-host:
+	$(GO) test -run xxx -bench 'BenchmarkTouch(Scalar|Run)' -benchmem ./internal/machine
+	$(GO) test -run xxx -bench 'BenchmarkFigure1/BT' -benchtime 3x .
 
 # Regenerate every table and figure of the paper (EXPERIMENTS.md input).
 sweep:

@@ -15,6 +15,8 @@
 package kmig
 
 import (
+	"math"
+
 	"upmgo/internal/machine"
 )
 
@@ -33,10 +35,25 @@ type Config struct {
 	// kernel's aging step; it also un-saturates the 11-bit counters).
 	// 0 means the default; negative disables decay.
 	DecayEvery int
+	// MinScanPS spaces scans by simulated time: a barrier is eligible to
+	// scan only when at least this many picoseconds have passed since the
+	// last scan. The real daemon runs off the clock tick, not off every
+	// synchronisation point, so on machines whose barriers are microseconds
+	// apart it integrates counters over many barriers before deciding —
+	// which is what filters out per-phase repartitioning flutter (pages
+	// legitimately touched by different nodes in different phases of one
+	// step). 0 means the default (64 page-migration costs, bounding the
+	// worst-case scan overhead to a fraction of runtime); negative disables
+	// the spacing so every barrier is eligible.
+	MinScanPS int64
 }
 
 // DefaultConfig mirrors the spirit of the IRIX defaults: migrate on a
-// clear excess, few pages at a time.
+// clear excess, few pages at a time. The threshold of 32 is calibrated
+// to the paper machine's page geometry — 16KB pages of 128-byte L2
+// lines, i.e. an excess worth a quarter of the page's coherence units;
+// Attach rescales that ratio when the attached machine's pages hold a
+// different number of lines (the shrunken Class S/W machines).
 func DefaultConfig() Config {
 	return Config{Threshold: 32, MaxPerScan: 16, ScanEvery: 1, DecayEvery: 1}
 }
@@ -48,6 +65,8 @@ type Engine struct {
 
 	enabled  bool
 	barriers int64
+	scans    int64
+	lastScan int64 // simulated time of the last scan; MinInt64 before any
 
 	migrations int64
 	rejected   int64 // candidates dropped by the per-scan throttle
@@ -61,7 +80,13 @@ type Engine struct {
 // DSM_MIGRATION.
 func Attach(m *machine.Machine, cfg Config) *Engine {
 	if cfg.Threshold == 0 {
-		cfg.Threshold = DefaultConfig().Threshold
+		// Scale the default to the machine: the canonical 32 assumes
+		// 16KB/128B = 128 lines per page, so keep the excess at a
+		// quarter of the lines one page holds.
+		cfg.Threshold = uint32(m.Cfg.PageBytes/m.Cfg.L2Line) / 4
+		if cfg.Threshold == 0 {
+			cfg.Threshold = 1
+		}
 	}
 	if cfg.MaxPerScan == 0 {
 		cfg.MaxPerScan = DefaultConfig().MaxPerScan
@@ -72,7 +97,11 @@ func Attach(m *machine.Machine, cfg Config) *Engine {
 	if cfg.DecayEvery == 0 {
 		cfg.DecayEvery = DefaultConfig().DecayEvery
 	}
-	e := &Engine{m: m, cfg: cfg, enabled: true, row: make([]uint32, m.Topo.Nodes())}
+	if cfg.MinScanPS == 0 {
+		cfg.MinScanPS = 64 * m.MigrationCost()
+	}
+	e := &Engine{m: m, cfg: cfg, enabled: true, lastScan: math.MinInt64,
+		row: make([]uint32, m.Topo.Nodes())}
 	m.AddBarrierHook(e.hook)
 	return e
 }
@@ -103,13 +132,17 @@ func (e *Engine) hook(now int64) int64 {
 	if e.cfg.ScanEvery > 1 && e.barriers%int64(e.cfg.ScanEvery) != 0 {
 		return 0
 	}
+	if e.cfg.MinScanPS > 0 && e.lastScan != math.MinInt64 && now-e.lastScan < e.cfg.MinScanPS {
+		return 0
+	}
+	e.lastScan = now
+	e.scans++
 	pt := e.m.PT
 	moved := 0
 	var cost int64
 	perPage := e.m.MigrationCost()
 	npages := e.m.AllocatedPages()
-	scans := e.barriers / int64(e.cfg.ScanEvery)
-	decay := e.cfg.DecayEvery > 0 && scans%int64(e.cfg.DecayEvery) == 0
+	decay := e.cfg.DecayEvery > 0 && e.scans%int64(e.cfg.DecayEvery) == 0
 	for vpn := uint64(0); vpn < npages; vpn++ {
 		home := pt.Home(vpn)
 		if home < 0 {

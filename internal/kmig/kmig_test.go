@@ -67,7 +67,7 @@ func TestNoMigrationWhenHomeDominates(t *testing.T) {
 
 func TestThrottleLimitsMigrationsPerScan(t *testing.T) {
 	m, lo := mkMachine(t)
-	e := Attach(m, Config{Threshold: 10, MaxPerScan: 2, DecayEvery: -1})
+	e := Attach(m, Config{Threshold: 10, MaxPerScan: 2, DecayEvery: -1, MinScanPS: -1})
 	for p := lo; p < lo+8; p++ {
 		for i := 0; i < 100; i++ {
 			m.PT.CountMiss(p, 3)
@@ -136,7 +136,7 @@ func TestCountersResetAfterMigration(t *testing.T) {
 
 func TestScanEverySkipsBarriers(t *testing.T) {
 	m, lo := mkMachine(t)
-	e := Attach(m, Config{Threshold: 10, ScanEvery: 3})
+	e := Attach(m, Config{Threshold: 10, ScanEvery: 3, MinScanPS: -1})
 	for i := 0; i < 100; i++ {
 		m.PT.CountMiss(lo, 5)
 	}
@@ -155,7 +155,7 @@ func TestDecayHalvesCounters(t *testing.T) {
 	m, lo := mkMachine(t)
 	// DecayEvery=1: every scan halves. Threshold high so no migration
 	// interferes.
-	Attach(m, Config{Threshold: 2000, DecayEvery: 1})
+	Attach(m, Config{Threshold: 2000, DecayEvery: 1, MinScanPS: -1})
 	for i := 0; i < 100; i++ {
 		m.PT.CountMiss(lo, 5)
 	}
@@ -176,7 +176,7 @@ func TestEndToEndWorstCaseGetsRepaired(t *testing.T) {
 	cfg := machine.DefaultConfig()
 	cfg.Placement = vm.WorstCase
 	m := machine.MustNew(cfg)
-	e := Attach(m, Config{Threshold: 32, MaxPerScan: 64})
+	e := Attach(m, Config{Threshold: 32, MaxPerScan: 64, MinScanPS: -1})
 	a := m.NewArray("x", 16*2048) // 16 pages, one per CPU
 	for iter := 0; iter < 6; iter++ {
 		for id := 0; id < 16; id++ {

@@ -46,6 +46,33 @@ func (a *Array) Add(c *CPU, i int, v float64) {
 	a.data[i] += v
 }
 
+// GetRun loads elements [i, i+n) as CPU c in one bulk access and returns
+// that window of the backing store. The slice aliases the array: callers
+// must treat it as read-only and must not hold it across an access by
+// another thread to the same elements (runs assume no cross-thread
+// aliasing; see DESIGN.md).
+func (a *Array) GetRun(c *CPU, i, n int) []float64 {
+	c.LoadRun(a.base+uint64(i)*8, n, 8)
+	return a.data[i : i+n]
+}
+
+// SetRun stores src into elements [i, i+len(src)) as CPU c in one bulk
+// access.
+func (a *Array) SetRun(c *CPU, i int, src []float64) {
+	c.StoreRun(a.base+uint64(i)*8, len(src), 8)
+	copy(a.data[i:], src)
+}
+
+// MutRun charges n stores to elements [i, i+n) as CPU c and returns the
+// backing window for the caller to update in place. As with Add, the read
+// half of a read-modify-write hits the line the store just claimed, so
+// in-place updates through the returned slice charge exactly one write
+// reference per element.
+func (a *Array) MutRun(c *CPU, i, n int) []float64 {
+	c.StoreRun(a.base+uint64(i)*8, n, 8)
+	return a.data[i : i+n]
+}
+
 // Data returns the backing storage without charging any simulated cost.
 func (a *Array) Data() []float64 { return a.data }
 
@@ -94,6 +121,21 @@ func (a *IntArray) Set(c *CPU, i int, v int32) {
 	a.data[i] = v
 }
 
+// GetRun loads elements [i, i+n) as CPU c in one bulk access and returns
+// that window of the backing store (read-only for the caller, as with
+// Array.GetRun).
+func (a *IntArray) GetRun(c *CPU, i, n int) []int32 {
+	c.LoadRun(a.base+uint64(i)*4, n, 4)
+	return a.data[i : i+n]
+}
+
+// MutRun charges n stores to elements [i, i+n) as CPU c and returns the
+// backing window for in-place updates.
+func (a *IntArray) MutRun(c *CPU, i, n int) []int32 {
+	c.StoreRun(a.base+uint64(i)*4, n, 4)
+	return a.data[i : i+n]
+}
+
 // Data returns the backing storage without charging any simulated cost.
 func (a *IntArray) Data() []int32 { return a.data }
 
@@ -121,6 +163,10 @@ func (m *Machine) NewArray3(name string, n1, n2, n3 int) *Array3 {
 // Idx returns the flat index of (i,j,k).
 func (a *Array3) Idx(i, j, k int) int { return (i*a.N2+j)*a.N3 + k }
 
+// Row returns the flat index of (i,j,0) — the base of the contiguous
+// last-index row, ready for GetRun/SetRun/MutRun over up to N3 elements.
+func (a *Array3) Row(i, j int) int { return (i*a.N2 + j) * a.N3 }
+
 // Get3 loads (i,j,k) as CPU c.
 func (a *Array3) Get3(c *CPU, i, j, k int) float64 { return a.Get(c, a.Idx(i, j, k)) }
 
@@ -141,6 +187,15 @@ func (m *Machine) NewArray4(name string, n1, n2, n3, n4 int) *Array4 {
 
 // Idx returns the flat index of (i,j,k,l).
 func (a *Array4) Idx(i, j, k, l int) int { return ((i*a.N2+j)*a.N3+k)*a.N4 + l }
+
+// Row returns the flat index of (i,j,0,0) — the base of the contiguous
+// (k,l) plane of N3*N4 elements; BT and SP sweep whole rows of
+// component vectors through the run APIs with it.
+func (a *Array4) Row(i, j int) int { return (i*a.N2 + j) * a.N3 * a.N4 }
+
+// Vec returns the flat index of (i,j,k,0) — the contiguous N4-component
+// vector of one grid point, the unit the vectorised line solvers run over.
+func (a *Array4) Vec(i, j, k int) int { return ((i*a.N2+j)*a.N3 + k) * a.N4 }
 
 // Get4 loads (i,j,k,l) as CPU c.
 func (a *Array4) Get4(c *CPU, i, j, k, l int) float64 { return a.Get(c, a.Idx(i, j, k, l)) }

@@ -45,6 +45,13 @@ type Config struct {
 	Placement   vm.Policy
 	Seed        uint64
 	CounterBits int // hardware reference counter width, 0 = 11
+
+	// ScalarRuns disables the bulk-access fast path: LoadRun/StoreRun then
+	// decompose into per-element touches. The bulk path is bit-identical
+	// to the scalar one by construction (see DESIGN.md, "Bulk-access fast
+	// path"); this switch exists so the equivalence tests can prove it and
+	// so regressions can be bisected against the reference ladder.
+	ScalarRuns bool
 }
 
 // DefaultConfig returns the machine evaluated in the paper: 16 R10000
@@ -99,6 +106,14 @@ type Machine struct {
 	// private caches and page placement would stop mattering.
 	cohShift  uint
 	lineState []uint32
+
+	// Bulk-access fast path: l1Shift segments runs by L1 line inside a
+	// coherence unit; bulkOK gates the path on the hierarchy nesting it
+	// assumes (L1 line <= L2 line <= page) and on Config.ScalarRuns.
+	l1Shift uint
+	bulkOK  bool
+
+	settleAcc []int64 // per-node tally scratch reused across barriers
 
 	hooks []BarrierHook
 }
@@ -158,7 +173,10 @@ func New(cfg Config) (*Machine, error) {
 		Lat:       cfg.Lat,
 		pageShift: uint(bits.TrailingZeros(uint(cfg.PageBytes))),
 		cohShift:  uint(bits.TrailingZeros(uint(cfg.L2Line))),
+		l1Shift:   uint(bits.TrailingZeros(uint(cfg.L1Line))),
+		settleAcc: make([]int64, cfg.Nodes),
 	}
+	m.bulkOK = !cfg.ScalarRuns && cfg.L1Line <= cfg.L2Line && cfg.L2Line <= cfg.PageBytes
 	m.lineState = make([]uint32, (uint64(cfg.ArenaPages)<<m.pageShift)>>m.cohShift)
 	if ncpu := cfg.Nodes * cfg.CPUsPerNode; ncpu > 256 {
 		return nil, fmt.Errorf("machine: %d CPUs exceed the coherence directory's 8-bit writer field", ncpu)
@@ -276,7 +294,10 @@ func (m *Machine) Settle(cpus []*CPU, start int64) int64 {
 			tmax = c.clock
 		}
 	}
-	acc := make([]int64, m.Cfg.Nodes)
+	acc := m.settleAcc
+	for n := range acc {
+		acc[n] = 0
+	}
 	for _, c := range cpus {
 		for n, a := range c.nodeAcc {
 			acc[n] += a
@@ -397,6 +418,245 @@ func (c *CPU) Load(addr uint64) { c.touch(addr, false) }
 // Store performs one simulated write of addr, invalidating every other
 // CPU's cached copy of the coherence unit.
 func (c *CPU) Store(addr uint64) { c.touch(addr, true) }
+
+// LoadRun performs n simulated reads of addr, addr+stride, ...,
+// addr+(n-1)*stride (stride in bytes). It charges exactly what n Load
+// calls would — same clocks, same miss counts, same reference-counter
+// totals — but pays the directory, cache, TLB and page-table machinery
+// once per line or page instead of once per element (see DESIGN.md,
+// "Bulk-access fast path").
+func (c *CPU) LoadRun(addr uint64, n int, stride uint64) { c.touchRun(addr, n, stride, false) }
+
+// StoreRun performs n simulated writes of addr, addr+stride, ...,
+// addr+(n-1)*stride, with the same per-event equivalence to n Store calls
+// as LoadRun has to Load.
+func (c *CPU) StoreRun(addr uint64, n int, stride uint64) { c.touchRun(addr, n, stride, true) }
+
+// touchRun is the bulk-access engine behind LoadRun and StoreRun. The run
+// is segmented page -> coherence unit (L2 line) -> L1 line; each level
+// does its bookkeeping once per segment while advancing clocks and
+// counters by the element count, so the machine state it leaves behind is
+// bit-identical to the per-element ladder in touch. Strides wider than an
+// L2 line (and degenerate strides) gain nothing from batching and fall
+// back to the scalar loop.
+func (c *CPU) touchRun(addr uint64, n int, stride uint64, write bool) {
+	m := c.m
+	if n <= 0 {
+		return
+	}
+	if !m.bulkOK || stride == 0 || stride > uint64(m.Cfg.L2Line) {
+		for i := 0; i < n; i++ {
+			c.touch(addr+uint64(i)*stride, write)
+		}
+		return
+	}
+	lat := &m.Lat
+	c.stat.Accesses += uint64(n)
+	tracking := write && m.PT.WriteTracking()
+	// Short vector runs (the solvers' per-point component blocks) almost
+	// always land inside a single coherence unit; charge them on a flat
+	// path with no segmentation loops.
+	if last := addr + uint64(n-1)*stride; last>>m.cohShift == addr>>m.cohShift && !tracking {
+		c.touchUnit(addr, last, n, stride, write)
+		return
+	}
+	// Segment lengths divide the distance to the next boundary by the
+	// stride; for the power-of-two strides every caller uses, a shift
+	// replaces the (hot) hardware division.
+	shift := uint(bits.TrailingZeros64(stride))
+	pow2 := stride == 1<<shift
+	segLen := func(rem uint64) int {
+		if pow2 {
+			return int(rem>>shift) + 1
+		}
+		return int(rem/stride) + 1
+	}
+	for i := 0; i < n; {
+		a := addr + uint64(i)*stride
+		vpn := a >> m.pageShift
+		nPage := n - i
+		if l := segLen((vpn+1)<<m.pageShift - 1 - a); l < nPage {
+			nPage = l
+		}
+		if tracking {
+			// As in touch: the write log and replica collapse fire even
+			// when every store in the run hits a cache.
+			if dropped := m.PT.MarkWritten(vpn); dropped > 0 {
+				c.clock += lat.MigratePage + m.ShootdownCost()
+			}
+		}
+		// Walk the page's coherence units, counting L2 misses; the memory
+		// path below is charged once for all of them.
+		l2misses := 0
+		for j := 0; j < nPage; {
+			aj := a + uint64(j)*stride
+			unit := aj >> m.cohShift
+			nUnit := nPage - j
+			if l := segLen((unit+1)<<m.cohShift - 1 - aj); l < nUnit {
+				nUnit = l
+			}
+			ver, newVer := c.coherence(unit, write)
+			c.clock += int64(nUnit) * lat.L1Hit
+			// L1-line segments inside the unit. The first element of the
+			// unit validates against ver; every later element sees the
+			// just-stamped newVer, exactly as repeated scalar touches
+			// would. L2 is probed once per L1-missing segment, with the
+			// version pair of the first missing segment deciding the
+			// (at most one) L2 miss.
+			probes := 0
+			var probeAddr uint64
+			var probeVer, probeNewVer uint32
+			if lastA := aj + uint64(nUnit-1)*stride; pow2 && stride <= uint64(m.Cfg.L1Line) && lastA>>m.l1Shift > aj>>m.l1Shift {
+				// The unit's lines are consecutive and evenly filled:
+				// one batched probe covers them all.
+				nLines := int(lastA>>m.l1Shift - aj>>m.l1Shift + 1)
+				first := int(((aj>>m.l1Shift+1)<<m.l1Shift-1-aj)>>shift) + 1
+				perLine := int(uint64(m.Cfg.L1Line) >> shift)
+				miss, mAddr, mVer := c.l1.AccessLines(aj, nLines, first, perLine, nUnit-first-(nLines-2)*perLine, ver, newVer)
+				if miss > 0 {
+					c.stat.L1Miss += uint64(miss)
+					probes, probeAddr, probeVer, probeNewVer = miss, mAddr, mVer, newVer
+				}
+			} else {
+				v0 := ver
+				for k := 0; k < nUnit; {
+					ak := aj + uint64(k)*stride
+					nLine := nUnit - k
+					if l := segLen((ak>>m.l1Shift+1)<<m.l1Shift - 1 - ak); l < nLine {
+						nLine = l
+					}
+					if !c.l1.AccessRange(ak, nLine, v0, newVer) {
+						c.stat.L1Miss++
+						if probes == 0 {
+							probeAddr, probeVer, probeNewVer = ak, v0, newVer
+						}
+						probes++
+					}
+					v0 = newVer
+					k += nLine
+				}
+			}
+			if probes > 0 {
+				if c.l2.AccessRange(probeAddr, probes, probeVer, probeNewVer) {
+					c.clock += int64(probes) * lat.L2Hit
+				} else {
+					c.stat.L2Miss++
+					c.clock += int64(probes-1) * lat.L2Hit
+					l2misses++
+				}
+			}
+			j += nUnit
+		}
+		if l2misses > 0 {
+			// The scalar path resolves the page only when an access
+			// actually reaches memory, so the fault (and its charge)
+			// must stay behind the first L2 miss here too.
+			home, gen, faulted := m.PT.Resolve(vpn, c.NodeID)
+			if faulted {
+				c.stat.Faults++
+				c.clock += lat.PageFault
+			}
+			if !write && m.PT.HasReplicas(vpn) {
+				home = m.PT.NearestCopy(vpn, c.NodeID)
+			}
+			if !c.tlb.LookupRun(vpn, gen, l2misses) {
+				c.stat.TLBMiss++
+				c.clock += lat.TLBRefill
+			}
+			hops := m.Topo.Hops(c.NodeID, home)
+			if hops == 0 {
+				c.stat.LocalMem += uint64(l2misses)
+			} else {
+				c.stat.RemoteMem += uint64(l2misses)
+			}
+			c.clock += int64(l2misses) * lat.MemLatency(hops)
+			m.PT.CountMissN(vpn, c.NodeID, uint32(l2misses))
+			c.nodeAcc[home] += int64(l2misses)
+		}
+		i += nPage
+	}
+}
+
+// touchUnit charges a run that lies entirely within one coherence unit
+// (and therefore one page, spanning at most L2Line/L1Line L1 lines): the
+// flat common case touchRun peels off. Event for event it matches what
+// touchRun's general segmentation — and hence the scalar ladder — would
+// charge: one coherence decision, per-L1-line probes with the first
+// element of the unit validating against ver and the rest against newVer,
+// at most one L2 miss, and the memory path behind it.
+func (c *CPU) touchUnit(addr, last uint64, n int, stride uint64, write bool) {
+	m := c.m
+	lat := &m.Lat
+	ver, newVer := c.coherence(addr>>m.cohShift, write)
+	c.clock += int64(n) * lat.L1Hit
+	probes := 0
+	var probeAddr uint64
+	var probeVer uint32
+	if addr>>m.l1Shift == last>>m.l1Shift {
+		if !c.l1.AccessRange(addr, n, ver, newVer) {
+			c.stat.L1Miss++
+			probes, probeAddr, probeVer = 1, addr, ver
+		}
+	} else if shift := uint(bits.TrailingZeros64(stride)); stride == 1<<shift && stride <= uint64(m.Cfg.L1Line) {
+		nLines := int(last>>m.l1Shift - addr>>m.l1Shift + 1)
+		first := int(((addr>>m.l1Shift+1)<<m.l1Shift-1-addr)>>shift) + 1
+		perLine := int(uint64(m.Cfg.L1Line) >> shift)
+		miss, mAddr, mVer := c.l1.AccessLines(addr, nLines, first, perLine, n-first-(nLines-2)*perLine, ver, newVer)
+		if miss > 0 {
+			c.stat.L1Miss += uint64(miss)
+			probes, probeAddr, probeVer = miss, mAddr, mVer
+		}
+	} else {
+		v0 := ver
+		for k := 0; k < n; {
+			ak := addr + uint64(k)*stride
+			nLine := n - k
+			if l := int(((ak>>m.l1Shift+1)<<m.l1Shift-1-ak)/stride) + 1; l < nLine {
+				nLine = l
+			}
+			if !c.l1.AccessRange(ak, nLine, v0, newVer) {
+				c.stat.L1Miss++
+				if probes == 0 {
+					probeAddr, probeVer = ak, v0
+				}
+				probes++
+			}
+			v0 = newVer
+			k += nLine
+		}
+	}
+	if probes == 0 {
+		return
+	}
+	if c.l2.AccessRange(probeAddr, probes, probeVer, newVer) {
+		c.clock += int64(probes) * lat.L2Hit
+		return
+	}
+	c.stat.L2Miss++
+	c.clock += int64(probes-1) * lat.L2Hit
+	vpn := addr >> m.pageShift
+	home, gen, faulted := m.PT.Resolve(vpn, c.NodeID)
+	if faulted {
+		c.stat.Faults++
+		c.clock += lat.PageFault
+	}
+	if !write && m.PT.HasReplicas(vpn) {
+		home = m.PT.NearestCopy(vpn, c.NodeID)
+	}
+	if !c.tlb.LookupRun(vpn, gen, 1) {
+		c.stat.TLBMiss++
+		c.clock += lat.TLBRefill
+	}
+	hops := m.Topo.Hops(c.NodeID, home)
+	if hops == 0 {
+		c.stat.LocalMem++
+	} else {
+		c.stat.RemoteMem++
+	}
+	c.clock += lat.MemLatency(hops)
+	m.PT.CountMissN(vpn, c.NodeID, 1)
+	c.nodeAcc[home]++
+}
 
 // touch performs one simulated memory reference to addr, walking
 // L1 -> L2 -> (TLB, page table) -> local or remote memory, charging the

@@ -107,6 +107,131 @@ func (c *Cache) Access(addr uint64, ver, newVer uint32) bool {
 	return false
 }
 
+// AccessRange performs n consecutive accesses that all fall within the
+// line containing addr: the first has the full lookup/fill/invalidate
+// semantics of Access, and the remaining n-1 are the guaranteed hits that
+// immediately repeated references to a just-touched line produce. It
+// reports whether the first access hit. The replacement state it leaves
+// behind — tick, the line's age, hit and miss counts — is bit-identical
+// to n individual Access calls, which is what lets the bulk path of
+// internal/machine substitute one probe for a per-element loop.
+func (c *Cache) AccessRange(addr uint64, n int, ver, newVer uint32) bool {
+	if n <= 0 {
+		return true
+	}
+	line := addr >> c.lineShift
+	set := int(line&c.setMask) * c.ways
+	tag := line + 1
+	c.tick += uint64(n)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[set+w] == tag {
+			c.age[set+w] = c.tick
+			if c.vers[set+w] != ver {
+				// Stale copy: the first access misses and refills in
+				// place; the rest hit the refreshed line.
+				c.vers[set+w] = newVer
+				c.misses++
+				c.hits += uint64(n - 1)
+				return false
+			}
+			c.vers[set+w] = newVer
+			c.hits += uint64(n)
+			return true
+		}
+	}
+	c.misses++
+	c.hits += uint64(n - 1)
+	victim := set
+	for w := 1; w < c.ways; w++ {
+		if c.age[set+w] < c.age[victim] {
+			victim = set + w
+		}
+	}
+	c.tags[victim] = tag
+	c.vers[victim] = newVer
+	c.age[victim] = c.tick
+	return false
+}
+
+// AccessLines probes nLines consecutive cache lines in one call — the
+// whole-coherence-unit companion to AccessRange for contiguous runs whose
+// stride does not exceed the line size. The line containing addr holds
+// firstCount elements, full middle lines perLine each, and the last line
+// lastCount. The first element of the call validates against ver and
+// every later line against newVer (the caller has just stamped the unit's
+// new version), exactly as successive per-line AccessRange calls would;
+// tick, ages, hit and miss counts come out bit-identical. It returns the
+// number of missing lines plus the address and version of the first miss,
+// which the caller forwards to the next cache level.
+func (c *Cache) AccessLines(addr uint64, nLines, firstCount, perLine, lastCount int, ver, newVer uint32) (misses int, missAddr uint64, missVer uint32) {
+	line := addr >> c.lineShift
+	tags, vers, age := c.tags, c.vers, c.age
+	tick, hits, missCnt := c.tick, c.hits, c.misses
+	v := ver
+	for i := 0; i < nLines; i++ {
+		n := perLine
+		if i == 0 {
+			n = firstCount
+		} else if i == nLines-1 {
+			n = lastCount
+		}
+		set := int(line&c.setMask) * c.ways
+		tag := line + 1
+		tick += uint64(n)
+		hit, resident := false, false
+		if c.ways == 2 {
+			// The paper machine's caches are 2-way; probing both ways
+			// branch-free keeps this innermost loop flat.
+			if tags[set] == tag {
+				age[set] = tick
+				resident = true
+				hit = vers[set] == v
+				vers[set] = newVer
+			} else if tags[set+1] == tag {
+				age[set+1] = tick
+				resident = true
+				hit = vers[set+1] == v
+				vers[set+1] = newVer
+			}
+		} else {
+			for w := 0; w < c.ways; w++ {
+				if tags[set+w] == tag {
+					age[set+w] = tick
+					resident = true
+					hit = vers[set+w] == v
+					vers[set+w] = newVer
+					break
+				}
+			}
+		}
+		if hit {
+			hits += uint64(n)
+		} else {
+			if !resident {
+				victim := set
+				for w := 1; w < c.ways; w++ {
+					if age[set+w] < age[victim] {
+						victim = set + w
+					}
+				}
+				tags[victim] = tag
+				vers[victim] = newVer
+				age[victim] = tick
+			}
+			missCnt++
+			hits += uint64(n - 1)
+			if misses == 0 {
+				missAddr, missVer = line<<c.lineShift, v
+			}
+			misses++
+		}
+		v = newVer
+		line++
+	}
+	c.tick, c.hits, c.misses = tick, hits, missCnt
+	return misses, missAddr, missVer
+}
+
 // Contains reports whether addr is resident without disturbing LRU state.
 func (c *Cache) Contains(addr uint64) bool {
 	line := addr >> c.lineShift

@@ -70,6 +70,36 @@ func (t *TLB) Lookup(vpn uint64, gen uint32) bool {
 	return false
 }
 
+// LookupRun performs n lookups of vpn at generation gen: the first has the
+// full semantics of Lookup, with the translation loaded via Insert when it
+// misses, and the remaining n-1 are the guaranteed hits a just-loaded
+// translation gives. It reports whether the first lookup hit (the caller
+// charges one refill when it did not). Tick, the entry's age, and the
+// hit/miss counters end up bit-identical to n Lookup calls plus the one
+// Insert a scalar caller would have issued.
+func (t *TLB) LookupRun(vpn uint64, gen uint32, n int) bool {
+	if n <= 0 {
+		return true
+	}
+	hit := t.Lookup(vpn, gen)
+	if !hit {
+		t.Insert(vpn, gen)
+	}
+	if n > 1 {
+		t.tick += uint64(n - 1)
+		t.hits += uint64(n - 1)
+		set := int(vpn&t.setMask) * t.ways
+		tag := vpn + 1
+		for w := 0; w < t.ways; w++ {
+			if t.vpns[set+w] == tag {
+				t.age[set+w] = t.tick
+				break
+			}
+		}
+	}
+	return hit
+}
+
 // Insert loads the translation for vpn at generation gen, evicting LRU.
 func (t *TLB) Insert(vpn uint64, gen uint32) {
 	set := int(vpn&t.setMask) * t.ways

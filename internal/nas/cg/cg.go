@@ -207,18 +207,22 @@ func (c *CG) InitTouch(t *omp.Team) {
 	colH := c.colH
 	t.Parallel(func(tr *omp.Thread) {
 		tr.For(0, n, omp.Static(), func(cpu *machine.CPU, from, to int) {
-			for i := from; i < to; i++ {
-				c.x.Set(cpu, i, 1)
-				c.z.Set(cpu, i, 0)
-				c.p.Set(cpu, i, 0)
-				c.q.Set(cpu, i, 0)
-				c.r.Set(cpu, i, 0)
-				c.rowstr.Set(cpu, i, rowH[i])
-				for k := int(rowH[i]); k < int(rowH[i+1]); k++ {
-					c.a.Set(cpu, k, valsH[k])
-					c.colidx.Set(cpu, k, colH[k])
-				}
+			cnt := to - from
+			if cnt <= 0 {
+				return
 			}
+			xw := c.x.MutRun(cpu, from, cnt)
+			for i := range xw {
+				xw[i] = 1
+			}
+			clear(c.z.MutRun(cpu, from, cnt))
+			clear(c.p.MutRun(cpu, from, cnt))
+			clear(c.q.MutRun(cpu, from, cnt))
+			clear(c.r.MutRun(cpu, from, cnt))
+			copy(c.rowstr.MutRun(cpu, from, cnt), rowH[from:to])
+			lo, hi := int(rowH[from]), int(rowH[to])
+			copy(c.a.MutRun(cpu, lo, hi-lo), valsH[lo:hi])
+			copy(c.colidx.MutRun(cpu, lo, hi-lo), colH[lo:hi])
 		})
 	})
 }
@@ -236,9 +240,13 @@ func (c *CG) Step(t *omp.Team, h *nas.Hooks) {
 	t.Parallel(func(tr *omp.Thread) {
 		var sxz, szz float64
 		tr.For(0, n, omp.Static(), func(cpu *machine.CPU, from, to int) {
-			for i := from; i < to; i++ {
-				zi := c.z.Get(cpu, i)
-				sxz += c.x.Get(cpu, i) * zi
+			if to <= from {
+				return
+			}
+			zr := c.z.GetRun(cpu, from, to-from)
+			xr := c.x.GetRun(cpu, from, to-from)
+			for i, zi := range zr {
+				sxz += xr[i] * zi
 				szz += zi * zi
 			}
 			cpu.Flops(4 * (to - from))
@@ -250,8 +258,13 @@ func (c *CG) Step(t *omp.Team, h *nas.Hooks) {
 		}
 		norm := 1 / math.Sqrt(szz)
 		tr.For(0, n, omp.Static(), func(cpu *machine.CPU, from, to int) {
-			for i := from; i < to; i++ {
-				c.x.Set(cpu, i, c.z.Get(cpu, i)*norm)
+			if to <= from {
+				return
+			}
+			zr := c.z.GetRun(cpu, from, to-from)
+			xw := c.x.MutRun(cpu, from, to-from)
+			for i, zi := range zr {
+				xw[i] = zi * norm
 			}
 			cpu.Flops(to - from)
 		})
@@ -268,11 +281,14 @@ func (c *CG) conjGrad(t *omp.Team) {
 		// z = 0, r = x, p = r.
 		var s float64
 		tr.For(0, n, omp.Static(), func(cpu *machine.CPU, from, to int) {
-			for i := from; i < to; i++ {
-				xi := c.x.Get(cpu, i)
-				c.z.Set(cpu, i, 0)
-				c.r.Set(cpu, i, xi)
-				c.p.Set(cpu, i, xi)
+			if to <= from {
+				return
+			}
+			xr := c.x.GetRun(cpu, from, to-from)
+			clear(c.z.MutRun(cpu, from, to-from))
+			copy(c.r.MutRun(cpu, from, to-from), xr)
+			copy(c.p.MutRun(cpu, from, to-from), xr)
+			for _, xi := range xr {
 				s += xi * xi
 			}
 			cpu.Flops(2 * (to - from))
@@ -284,18 +300,30 @@ func (c *CG) conjGrad(t *omp.Team) {
 		tr.Barrier()
 
 		for it := 0; it < c.inner; it++ {
-			// q = A p.
+			// q = A p. The CSR row of a and colidx is contiguous and
+			// becomes one run per row; the gather p[colidx[k]] stays a
+			// per-element access — its scatter across every node's pages
+			// is the memory signature the paper discusses, and no run can
+			// represent it.
 			var pq float64
 			tr.For(0, n, omp.Static(), func(cpu *machine.CPU, from, to int) {
+				if to <= from {
+					return
+				}
+				rs := c.rowstr.GetRun(cpu, from, to-from)
+				re := c.rowstr.GetRun(cpu, from+1, to-from)
+				pr := c.p.GetRun(cpu, from, to-from)
+				qw := c.q.MutRun(cpu, from, to-from)
 				for i := from; i < to; i++ {
-					lo := int(c.rowstr.Get(cpu, i))
-					hi := int(c.rowstr.Get(cpu, i+1))
+					lo, hi := int(rs[i-from]), int(re[i-from])
+					av := c.a.GetRun(cpu, lo, hi-lo)
+					cv := c.colidx.GetRun(cpu, lo, hi-lo)
 					var sum float64
-					for k := lo; k < hi; k++ {
-						sum += c.a.Get(cpu, k) * c.p.Get(cpu, int(c.colidx.Get(cpu, k)))
+					for k, ak := range av {
+						sum += ak * c.p.Get(cpu, int(cv[k]))
 					}
-					c.q.Set(cpu, i, sum)
-					pq += c.p.Get(cpu, i) * sum
+					qw[i-from] = sum
+					pq += pr[i-from] * sum
 					cpu.Flops(2 * (hi - lo))
 				}
 			}, omp.Nowait)
@@ -305,10 +333,18 @@ func (c *CG) conjGrad(t *omp.Team) {
 			// z += alpha p; r -= alpha q; rhoNew = r.r.
 			var rr float64
 			tr.For(0, n, omp.Static(), func(cpu *machine.CPU, from, to int) {
-				for i := from; i < to; i++ {
-					c.z.Add(cpu, i, alpha*c.p.Get(cpu, i))
-					ri := c.r.Get(cpu, i) - alpha*c.q.Get(cpu, i)
-					c.r.Set(cpu, i, ri)
+				if to <= from {
+					return
+				}
+				pr := c.p.GetRun(cpu, from, to-from)
+				qr := c.q.GetRun(cpu, from, to-from)
+				rv := c.r.GetRun(cpu, from, to-from)
+				zw := c.z.MutRun(cpu, from, to-from)
+				rw := c.r.MutRun(cpu, from, to-from)
+				for i := range pr {
+					zw[i] += alpha * pr[i]
+					ri := rv[i] - alpha*qr[i]
+					rw[i] = ri
 					rr += ri * ri
 				}
 				cpu.Flops(6 * (to - from))
@@ -318,8 +354,14 @@ func (c *CG) conjGrad(t *omp.Team) {
 
 			// p = r + beta p.
 			tr.For(0, n, omp.Static(), func(cpu *machine.CPU, from, to int) {
-				for i := from; i < to; i++ {
-					c.p.Set(cpu, i, c.r.Get(cpu, i)+beta*c.p.Get(cpu, i))
+				if to <= from {
+					return
+				}
+				rv := c.r.GetRun(cpu, from, to-from)
+				pv := c.p.GetRun(cpu, from, to-from)
+				pw := c.p.MutRun(cpu, from, to-from)
+				for i := range rv {
+					pw[i] = rv[i] + beta*pv[i]
 				}
 				cpu.Flops(2 * (to - from))
 			})

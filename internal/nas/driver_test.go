@@ -26,8 +26,8 @@ func TestDriverVerifiesUnderEveryPlacement(t *testing.T) {
 		if !r.Verified {
 			t.Errorf("%s: verification failed: %v", p, r.VerifyErr)
 		}
-		if len(r.IterPS) != 5 {
-			t.Errorf("%s: %d iterations recorded, want 5", p, len(r.IterPS))
+		if len(r.IterPS) != 15 {
+			t.Errorf("%s: %d iterations recorded, want 15 (the Class S default)", p, len(r.IterPS))
 		}
 		if r.TotalPS <= 0 {
 			t.Errorf("%s: non-positive total time", p)

@@ -108,10 +108,9 @@ func (f *FT) InitTouch(t *omp.Team) {
 			for z := from; z < to; z++ {
 				for y := 0; y < f.ny; y++ {
 					base := f.cidx(z, y, 0)
-					for x := 0; x < 2*f.nx; x++ {
-						f.u1.Set(c, base+x, f.init[base+x])
-						f.u2.Set(c, base+x, 0)
-					}
+					row := 2 * f.nx
+					copy(f.u1.MutRun(c, base, row), f.init[base:base+row])
+					clear(f.u2.MutRun(c, base, row))
 				}
 			}
 		})
@@ -170,19 +169,36 @@ func fft1d(line []complex128, inverse bool) {
 // gather/scatter and flops for the butterflies — the cache-blocked
 // structure NAS FT uses, where each line is transformed in cache.
 func (f *FT) lineFFT(c *machine.CPU, src, dst *machine.Array, base, stride, n int, inverse bool, scratch []complex128) {
-	for i := 0; i < n; i++ {
-		re := src.Get(c, base+i*stride)
-		im := src.Get(c, base+i*stride+1)
-		scratch[i] = complex(re, im)
+	if stride == 2 {
+		// Contiguous x-line: one run covers the whole gather.
+		line := src.GetRun(c, base, 2*n)
+		for i := 0; i < n; i++ {
+			scratch[i] = complex(line[2*i], line[2*i+1])
+		}
+	} else {
+		// Strided y/z-line: each grid point's (re,im) pair is one run.
+		for i := 0; i < n; i++ {
+			pair := src.GetRun(c, base+i*stride, 2)
+			scratch[i] = complex(pair[0], pair[1])
+		}
 	}
 	fft1d(scratch[:n], inverse)
 	norm := 1.0
 	if inverse {
 		norm = 1 / float64(n)
 	}
-	for i := 0; i < n; i++ {
-		dst.Set(c, base+i*stride, real(scratch[i])*norm)
-		dst.Set(c, base+i*stride+1, imag(scratch[i])*norm)
+	if stride == 2 {
+		out := dst.MutRun(c, base, 2*n)
+		for i := 0; i < n; i++ {
+			out[2*i] = real(scratch[i]) * norm
+			out[2*i+1] = imag(scratch[i]) * norm
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			pair := dst.MutRun(c, base+i*stride, 2)
+			pair[0] = real(scratch[i]) * norm
+			pair[1] = imag(scratch[i]) * norm
+		}
 	}
 	c.Flops(5 * n * bits.TrailingZeros(uint(n)))
 }
@@ -240,17 +256,18 @@ func (f *FT) evolve(t *omp.Team) {
 				kz := freq(z, f.nz)
 				for y := 0; y < f.ny; y++ {
 					ky := freq(y, f.ny)
+					base := f.cidx(z, y, 0)
+					row := f.u2.GetRun(c, base, 2*f.nx)
+					out := f.u2.MutRun(c, base, 2*f.nx)
 					for x := 0; x < f.nx; x++ {
 						kx := freq(x, f.nx)
 						theta := f.alpha * float64(kz*kz+ky*ky+kx*kx)
 						cr, ci := math.Cos(theta), math.Sin(theta)
-						i := f.cidx(z, y, x)
-						re := f.u2.Get(c, i)
-						im := f.u2.Get(c, i+1)
-						f.u2.Set(c, i, re*cr-im*ci)
-						f.u2.Set(c, i+1, re*ci+im*cr)
-						c.Flops(8)
+						re, im := row[2*x], row[2*x+1]
+						out[2*x] = re*cr - im*ci
+						out[2*x+1] = re*ci + im*cr
 					}
+					c.Flops(8 * f.nx)
 				}
 			}
 		})
@@ -273,10 +290,9 @@ func (f *FT) checksum(t *omp.Team) {
 		tr.For(0, f.nz, omp.Static(), func(c *machine.CPU, from, to int) {
 			for z := from; z < to; z++ {
 				for y := 0; y < f.ny; y++ {
-					base := f.cidx(z, y, 0)
+					row := f.u1.GetRun(c, f.cidx(z, y, 0), 2*f.nx)
 					for x := 0; x < f.nx; x++ {
-						re := f.u1.Get(c, base+2*x)
-						im := f.u1.Get(c, base+2*x+1)
+						re, im := row[2*x], row[2*x+1]
 						s += re*re + im*im
 					}
 				}

@@ -123,7 +123,8 @@ func (g *MG) Reinit() {
 	}
 }
 
-// InitTouch writes every level's arrays with the compute partitioning.
+// InitTouch writes every level's arrays with the compute partitioning,
+// one contiguous (j-)row at a time.
 func (g *MG) InitTouch(t *omp.Team) {
 	vd := g.v.Data()
 	t.Parallel(func(tr *omp.Thread) {
@@ -132,13 +133,12 @@ func (g *MG) InitTouch(t *omp.Team) {
 			tr.For(0, n, omp.Static(), func(c *machine.CPU, from, to int) {
 				for k := from; k < to; k++ {
 					for j := 0; j < n; j++ {
-						for i := 0; i < n; i++ {
-							l.u.Set3(c, k, j, i, 0)
-							l.r.Set3(c, k, j, i, 0)
-							l.w.Set3(c, k, j, i, 0)
-							if li == 0 {
-								g.v.Set3(c, k, j, i, vd[l.u.Idx(k, j, i)])
-							}
+						base := l.u.Row(k, j)
+						clear(l.u.MutRun(c, base, n))
+						clear(l.r.MutRun(c, base, n))
+						clear(l.w.MutRun(c, base, n))
+						if li == 0 {
+							copy(g.v.MutRun(c, base, n), vd[base:base+n])
 						}
 					}
 				}
@@ -177,30 +177,50 @@ func (g *MG) vcycle(t *omp.Team) {
 	// levels[0].u via the residual equation.
 }
 
+// applyStencilRow charges the seven contiguous u runs of one interior
+// (k,j) row of the 7-point Laplacian — centre, k+-1, j+-1 rows of L
+// elements plus the two i-shift windows — and evaluates f - A u into
+// buf, where fr is the row's right-hand side window. It carries exactly
+// the per-element reference counts of the scalar stencil.
+func applyStencilRow(c *machine.CPU, u *machine.Array3, k, j int, h2 float64, fr, buf []float64) {
+	n := u.N3
+	L := n - 2
+	ce := u.GetRun(c, u.Idx(k, j, 1), L)
+	up := u.GetRun(c, u.Idx(k+1, j, 1), L)
+	dn := u.GetRun(c, u.Idx(k-1, j, 1), L)
+	no := u.GetRun(c, u.Idx(k, j+1, 1), L)
+	so := u.GetRun(c, u.Idx(k, j-1, 1), L)
+	ea := u.GetRun(c, u.Idx(k, j, 2), L)
+	we := u.GetRun(c, u.Idx(k, j, 0), L)
+	for p := 0; p < L; p++ {
+		au := (6*ce[p] - up[p] - dn[p] - no[p] - so[p] - ea[p] - we[p]) * h2
+		buf[p] = fr[p] - au
+	}
+	c.Flops(10 * L)
+}
+
 // residual computes r_l = f_l - A u_l where f is v on the finest level and
-// the restricted residual on coarser ones. Parallel over k.
+// the restricted residual on coarser ones. Parallel over k, one interior
+// row per set of runs.
 func (g *MG) residual(t *omp.Team, l int) {
 	lv := g.levels[l]
 	n := lv.n
 	h2 := float64(n-1) * float64(n-1)
+	L := n - 2
 	t.Parallel(func(tr *omp.Thread) {
+		buf := make([]float64, L)
 		tr.For(1, n-1, omp.Static(), func(c *machine.CPU, from, to int) {
 			for k := from; k < to; k++ {
 				for j := 1; j < n-1; j++ {
-					for i := 1; i < n-1; i++ {
-						au := (6*lv.u.Get3(c, k, j, i) -
-							lv.u.Get3(c, k+1, j, i) - lv.u.Get3(c, k-1, j, i) -
-							lv.u.Get3(c, k, j+1, i) - lv.u.Get3(c, k, j-1, i) -
-							lv.u.Get3(c, k, j, i+1) - lv.u.Get3(c, k, j, i-1)) * h2
-						var f float64
-						if l == 0 {
-							f = g.v.Get3(c, k, j, i)
-						} else {
-							f = lv.r.Get3(c, k, j, i)
-						}
-						lv.r.Set3(c, k, j, i, f-au)
-						c.Flops(10)
+					base := lv.r.Idx(k, j, 1)
+					var fr []float64
+					if l == 0 {
+						fr = g.v.GetRun(c, base, L)
+					} else {
+						fr = lv.r.GetRun(c, base, L)
 					}
+					applyStencilRow(c, lv.u, k, j, h2, fr, buf)
+					lv.r.SetRun(c, base, buf)
 				}
 			}
 		})
@@ -217,34 +237,34 @@ func (g *MG) smooth(t *omp.Team, l int) {
 	n := lv.n
 	h2 := float64(n-1) * float64(n-1)
 	omega := 2.0 / 3.0
+	L := n - 2
 	t.Parallel(func(tr *omp.Thread) {
+		buf := make([]float64, L)
 		tr.For(1, n-1, omp.Static(), func(c *machine.CPU, from, to int) {
 			for k := from; k < to; k++ {
 				for j := 1; j < n-1; j++ {
-					for i := 1; i < n-1; i++ {
-						au := (6*lv.u.Get3(c, k, j, i) -
-							lv.u.Get3(c, k+1, j, i) - lv.u.Get3(c, k-1, j, i) -
-							lv.u.Get3(c, k, j+1, i) - lv.u.Get3(c, k, j-1, i) -
-							lv.u.Get3(c, k, j, i+1) - lv.u.Get3(c, k, j, i-1)) * h2
-						var f float64
-						if l == 0 {
-							f = g.v.Get3(c, k, j, i)
-						} else {
-							f = lv.r.Get3(c, k, j, i)
-						}
-						lv.w.Set3(c, k, j, i, f-au)
-						c.Flops(10)
+					base := lv.w.Idx(k, j, 1)
+					var fr []float64
+					if l == 0 {
+						fr = g.v.GetRun(c, base, L)
+					} else {
+						fr = lv.r.GetRun(c, base, L)
 					}
+					applyStencilRow(c, lv.u, k, j, h2, fr, buf)
+					lv.w.SetRun(c, base, buf)
 				}
 			}
 		})
 		tr.For(1, n-1, omp.Static(), func(c *machine.CPU, from, to int) {
 			for k := from; k < to; k++ {
 				for j := 1; j < n-1; j++ {
-					for i := 1; i < n-1; i++ {
-						lv.u.Add(c, lv.u.Idx(k, j, i), omega*lv.w.Get3(c, k, j, i)/(6*h2))
-						c.Flops(3)
+					base := lv.u.Idx(k, j, 1)
+					wr := lv.w.GetRun(c, base, L)
+					uw := lv.u.MutRun(c, base, L)
+					for p, wv := range wr {
+						uw[p] += omega * wv / (6 * h2)
 					}
+					c.Flops(3 * L)
 				}
 			}
 		})
@@ -258,12 +278,27 @@ func (g *MG) restrict(t *omp.Team, l int) {
 	fine := g.levels[l]
 	coarse := g.levels[l+1]
 	nc := coarse.n
+	Lc := nc - 2
+	fr := fine.r.Data()
 	t.Parallel(func(tr *omp.Thread) {
+		buf := make([]float64, Lc)
 		tr.For(1, nc-1, omp.Static(), func(c *machine.CPU, from, to int) {
 			for k := from; k < to; k++ {
 				fk := 2 * k
 				for j := 1; j < nc-1; j++ {
 					fj := 2 * j
+					// The fine points feeding this coarse row sit at
+					// columns 2i+di, i = 1..nc-2: 27 stride-two runs of
+					// Lc elements, one per (dk,dj,di) leg of the full
+					// weighting — exactly one read per leg per point, as
+					// in the scalar gather.
+					for dk := -1; dk <= 1; dk++ {
+						for dj := -1; dj <= 1; dj++ {
+							for di := -1; di <= 1; di++ {
+								c.LoadRun(fine.r.Addr(fine.r.Idx(fk+dk, fj+dj, 2+di)), Lc, 16)
+							}
+						}
+					}
 					for i := 1; i < nc-1; i++ {
 						fi := 2 * i
 						var s float64
@@ -271,13 +306,14 @@ func (g *MG) restrict(t *omp.Team, l int) {
 							for dj := -1; dj <= 1; dj++ {
 								for di := -1; di <= 1; di++ {
 									w := 0.125 * weight1(dk) * weight1(dj) * weight1(di)
-									s += w * fine.r.Get3(c, fk+dk, fj+dj, fi+di)
+									s += w * fr[fine.r.Idx(fk+dk, fj+dj, fi+di)]
 								}
 							}
 						}
-						coarse.r.Set3(c, k, j, i, s)
-						c.Flops(40)
+						buf[i-1] = s
 					}
+					coarse.r.SetRun(c, coarse.r.Idx(k, j, 1), buf)
+					c.Flops(40 * Lc)
 				}
 			}
 		})
@@ -292,28 +328,60 @@ func weight1(d int) float64 {
 }
 
 // prolongate adds the trilinear interpolation of the level-(l+1)
-// correction into the level-l solution (interp).
+// correction into the level-l solution (interp). For one fine row (k,j)
+// the coarse reads decompose into contiguous runs: even fine columns
+// read coarse i0 = 1..(n-3)/2 once per contributing (dk,dj) plane, odd
+// columns read i0 and i0+1 for i0 = 0..(n-3)/2 — so each plane charges
+// one run of evens and two overlapping runs of odds, reproducing the
+// scalar gather's per-element counts.
 func (g *MG) prolongate(t *omp.Team, l int) {
 	fine := g.levels[l]
 	coarse := g.levels[l+1]
 	n := fine.n
+	L := n - 2
+	nEven := (n - 3) / 2 // fine i = 2,4..n-3
+	nOdd := (n - 1) / 2  // fine i = 1,3..n-2
+	cu := coarse.u.Data()
 	t.Parallel(func(tr *omp.Thread) {
+		buf := make([]float64, L)
 		tr.For(1, n-1, omp.Static(), func(c *machine.CPU, from, to int) {
 			for k := from; k < to; k++ {
+				k0, kf := k/2, float64(k%2)/2
 				for j := 1; j < n-1; j++ {
-					for i := 1; i < n-1; i++ {
-						v := trilerp(c, coarse, k, j, i)
-						fine.u.Add(c, fine.u.Idx(k, j, i), v)
-						c.Flops(14)
+					j0, jf := j/2, float64(j%2)/2
+					for dk := 0; dk <= 1; dk++ {
+						if dk == 1 && kf == 0 {
+							continue
+						}
+						for dj := 0; dj <= 1; dj++ {
+							if dj == 1 && jf == 0 {
+								continue
+							}
+							rowBase := coarse.u.Idx(k0+dk, j0+dj, 0)
+							coarse.u.GetRun(c, rowBase+1, nEven)
+							coarse.u.GetRun(c, rowBase, nOdd)
+							coarse.u.GetRun(c, rowBase+1, nOdd)
+						}
 					}
+					for i := 1; i < n-1; i++ {
+						buf[i-1] = trilerp(cu, coarse, k, j, i)
+					}
+					base := fine.u.Idx(k, j, 1)
+					uw := fine.u.MutRun(c, base, L)
+					for p, v := range buf {
+						uw[p] += v
+					}
+					c.Flops(14 * L)
 				}
 			}
 		})
 	})
 }
 
-// trilerp evaluates the coarse-grid correction at fine point (k,j,i).
-func trilerp(c *machine.CPU, coarse level, k, j, i int) float64 {
+// trilerp evaluates the coarse-grid correction at fine point (k,j,i)
+// from the coarse level's raw storage (charging is done by the caller's
+// runs).
+func trilerp(cu []float64, coarse level, k, j, i int) float64 {
 	k0, kf := k/2, float64(k%2)/2
 	j0, jf := j/2, float64(j%2)/2
 	i0, if_ := i/2, float64(i%2)/2
@@ -342,7 +410,7 @@ func trilerp(c *machine.CPU, coarse level, k, j, i int) float64 {
 				if wi == 0 {
 					continue
 				}
-				s += wk * wj * wi * coarse.u.Get3(c, k0+dk, j0+dj, i0+di)
+				s += wk * wj * wi * cu[coarse.u.Idx(k0+dk, j0+dj, i0+di)]
 			}
 		}
 	}
@@ -357,9 +425,7 @@ func (g *MG) zero(t *omp.Team, l int) {
 		tr.For(0, n, omp.Static(), func(c *machine.CPU, from, to int) {
 			for k := from; k < to; k++ {
 				for j := 0; j < n; j++ {
-					for i := 0; i < n; i++ {
-						lv.u.Set3(c, k, j, i, 0)
-					}
+					clear(lv.u.MutRun(c, lv.u.Row(k, j), n))
 				}
 			}
 		})

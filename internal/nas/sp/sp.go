@@ -146,10 +146,12 @@ func (s *SP) Reinit() {
 	clear(s.rhs.Data())
 }
 
-// InitTouch writes the arrays with the compute phases' k partitioning.
+// InitTouch writes the arrays with the compute phases' k partitioning,
+// one contiguous (j,i,m) row at a time through the run APIs.
 func (s *SP) InitTouch(t *omp.Team) {
 	n := s.n
 	f := s.forcing.Data()
+	rowLen := n * ncomp
 	t.Parallel(func(tr *omp.Thread) {
 		tr.For(1, n-1, omp.Static(), func(c *machine.CPU, from, to int) {
 			lo, hi := from, to
@@ -161,14 +163,10 @@ func (s *SP) InitTouch(t *omp.Team) {
 			}
 			for k := lo; k < hi; k++ {
 				for j := 0; j < n; j++ {
-					for i := 0; i < n; i++ {
-						for m := 0; m < ncomp; m++ {
-							p := s.idx(k, j, i, m)
-							s.u.Set(c, p, 0)
-							s.rhs.Set(c, p, 0)
-							s.forcing.Set(c, p, f[p])
-						}
-					}
+					base := s.u.Row(k, j)
+					clear(s.u.MutRun(c, base, rowLen))
+					clear(s.rhs.MutRun(c, base, rowLen))
+					copy(s.forcing.MutRun(c, base, rowLen), f[base:base+rowLen])
 				}
 			}
 		})
@@ -197,75 +195,136 @@ func (s *SP) Step(t *omp.Team, h *nas.Hooks) {
 }
 
 // computeRHS sets rhs = dt*(cm*Lap_h(u) - eps*D4(u) + f): a 13-point
-// stencil, parallel over k.
+// stencil, parallel over k. Each interior (k,j) row of (n-2)*ncomp
+// elements is processed as one set of bulk runs carrying exactly the
+// per-element reference counts of the scalar stencil: the +-1 neighbour
+// rows are read twice (once by the Laplacian, once by the fourth
+// difference), the +-2 rows once when in bounds — gated whole rows in k
+// and j, shortened runs for the i-direction shifts — and the centre row
+// once.
 func (s *SP) computeRHS(t *omp.Team) {
 	n := s.n
 	h2 := float64(n-1) * float64(n-1)
-	get := func(c *machine.CPU, k, j, i, m int) float64 {
+	L := (n - 2) * ncomp
+	u := s.u.Data()
+	at := func(k, j, i, m int) float64 {
 		if k < 0 || j < 0 || i < 0 || k >= n || j >= n || i >= n {
 			return 0
 		}
-		return s.u.Get(c, s.idx(k, j, i, m))
+		return u[s.idx(k, j, i, m)]
 	}
 	t.Parallel(func(tr *omp.Thread) {
+		buf := make([]float64, L)
 		tr.For(1, n-1, omp.Static(), func(c *machine.CPU, from, to int) {
 			for k := from; k < to; k++ {
 				for j := 1; j < n-1; j++ {
+					base := s.idx(k, j, 1, 0)
+					s.u.GetRun(c, base, L) // centre
+					for _, kk := range []int{k - 1, k + 1} {
+						s.u.GetRun(c, s.idx(kk, j, 1, 0), L) // Laplacian
+						s.u.GetRun(c, s.idx(kk, j, 1, 0), L) // dissipation
+					}
+					for _, jj := range []int{j - 1, j + 1} {
+						s.u.GetRun(c, s.idx(k, jj, 1, 0), L)
+						s.u.GetRun(c, s.idx(k, jj, 1, 0), L)
+					}
+					s.u.GetRun(c, s.idx(k, j, 0, 0), L) // i-1 shift
+					s.u.GetRun(c, s.idx(k, j, 0, 0), L)
+					s.u.GetRun(c, s.idx(k, j, 2, 0), L) // i+1 shift
+					s.u.GetRun(c, s.idx(k, j, 2, 0), L)
+					if k-2 >= 0 {
+						s.u.GetRun(c, s.idx(k-2, j, 1, 0), L)
+					}
+					if k+2 < n {
+						s.u.GetRun(c, s.idx(k+2, j, 1, 0), L)
+					}
+					if j-2 >= 0 {
+						s.u.GetRun(c, s.idx(k, j-2, 1, 0), L)
+					}
+					if j+2 < n {
+						s.u.GetRun(c, s.idx(k, j+2, 1, 0), L)
+					}
+					// Elements with i>=2 read i-2, those with i<=n-3 read
+					// i+2: two runs shorter by one grid point each.
+					s.u.GetRun(c, s.idx(k, j, 0, 0), L-ncomp)
+					s.u.GetRun(c, s.idx(k, j, 3, 0), L-ncomp)
+					frc := s.forcing.GetRun(c, base, L)
 					for i := 1; i < n-1; i++ {
 						for m := 0; m < ncomp; m++ {
-							c0 := get(c, k, j, i, m)
-							lap := (get(c, k+1, j, i, m) + get(c, k-1, j, i, m) +
-								get(c, k, j+1, i, m) + get(c, k, j-1, i, m) +
-								get(c, k, j, i+1, m) + get(c, k, j, i-1, m) - 6*c0) * h2
-							d4 := (get(c, k-2, j, i, m) - 4*get(c, k-1, j, i, m) + 6*c0 - 4*get(c, k+1, j, i, m) + get(c, k+2, j, i, m)) +
-								(get(c, k, j-2, i, m) - 4*get(c, k, j-1, i, m) + 6*c0 - 4*get(c, k, j+1, i, m) + get(c, k, j+2, i, m)) +
-								(get(c, k, j, i-2, m) - 4*get(c, k, j, i-1, m) + 6*c0 - 4*get(c, k, j, i+1, m) + get(c, k, j, i+2, m))
-							v := s.dt * (s.cm[m]*lap - s.eps*d4 + s.forcing.Get(c, s.idx(k, j, i, m)))
-							s.rhs.Set(c, s.idx(k, j, i, m), v)
+							c0 := at(k, j, i, m)
+							lap := (at(k+1, j, i, m) + at(k-1, j, i, m) +
+								at(k, j+1, i, m) + at(k, j-1, i, m) +
+								at(k, j, i+1, m) + at(k, j, i-1, m) - 6*c0) * h2
+							d4 := (at(k-2, j, i, m) - 4*at(k-1, j, i, m) + 6*c0 - 4*at(k+1, j, i, m) + at(k+2, j, i, m)) +
+								(at(k, j-2, i, m) - 4*at(k, j-1, i, m) + 6*c0 - 4*at(k, j+1, i, m) + at(k, j+2, i, m)) +
+								(at(k, j, i-2, m) - 4*at(k, j, i-1, m) + 6*c0 - 4*at(k, j, i+1, m) + at(k, j, i+2, m))
+							p := (i-1)*ncomp + m
+							buf[p] = s.dt * (s.cm[m]*lap - s.eps*d4 + frc[p])
 						}
-						c.Flops(ncomp * 30)
 					}
+					s.rhs.SetRun(c, base, buf)
+					c.Flops(L * 30)
 				}
 			}
 		})
 	})
 }
 
-// solvePenta runs scalar pentadiagonal elimination on one interior line,
-// in place in rhs. Bands are constant: (e2, e1, d0, e1, e2) with zero
-// Dirichlet extension beyond both ends.
-func (s *SP) solvePenta(c *machine.CPU, lam2, lam4 float64, length int, alpha, dd, ff []float64, idxAt func(p int) int) {
-	e2 := lam4
-	e1 := -lam2 - 4*lam4
-	d0 := 1 + 2*lam2 + 6*lam4
+// solveLines runs the pentadiagonal elimination of one (outer,inner)
+// grid line for all ncomp components at once, in place in rhs. The
+// components of one grid point are contiguous, so every access becomes
+// an ncomp-element run at base + p*stride; the per-point reference
+// counts (one read per point in the forward sweep, one write in the
+// back substitution) match the scalar solver exactly. Bands are
+// constant per component: (e2, e1, d0, e1, e2) with zero Dirichlet
+// extension beyond both ends.
+func (s *SP) solveLines(c *machine.CPU, lam2 *[ncomp]float64, lam4 float64, length int, alpha, dd, ff []float64, base, stride int) {
+	var e2, e1, d0 [ncomp]float64
+	for m := 0; m < ncomp; m++ {
+		e2[m] = lam4
+		e1[m] = -lam2[m] - 4*lam4
+		d0[m] = 1 + 2*lam2[m] + 6*lam4
+	}
 	// Forward elimination.
-	alpha[0] = d0
-	dd[0] = e1
-	ff[0] = s.rhs.Get(c, idxAt(0))
+	row := s.rhs.GetRun(c, base, ncomp)
+	for m := 0; m < ncomp; m++ {
+		alpha[m] = d0[m]
+		dd[m] = e1[m]
+		ff[m] = row[m]
+	}
 	if length > 1 {
-		m1 := e1 / alpha[0]
-		alpha[1] = d0 - m1*dd[0]
-		dd[1] = e1 - m1*e2
-		ff[1] = s.rhs.Get(c, idxAt(1)) - m1*ff[0]
+		row = s.rhs.GetRun(c, base+stride, ncomp)
+		for m := 0; m < ncomp; m++ {
+			m1 := e1[m] / alpha[m]
+			alpha[ncomp+m] = d0[m] - m1*dd[m]
+			dd[ncomp+m] = e1[m] - m1*e2[m]
+			ff[ncomp+m] = row[m] - m1*ff[m]
+		}
 	}
 	for p := 2; p < length; p++ {
-		m2 := e2 / alpha[p-2]
-		b1 := e1 - m2*dd[p-2]
-		cc := d0 - m2*e2
-		fp := s.rhs.Get(c, idxAt(p)) - m2*ff[p-2]
-		m1 := b1 / alpha[p-1]
-		alpha[p] = cc - m1*dd[p-1]
-		dd[p] = e1 - m1*e2
-		ff[p] = fp - m1*ff[p-1]
+		row = s.rhs.GetRun(c, base+p*stride, ncomp)
+		for m := 0; m < ncomp; m++ {
+			m2 := e2[m] / alpha[(p-2)*ncomp+m]
+			b1 := e1[m] - m2*dd[(p-2)*ncomp+m]
+			cc := d0[m] - m2*e2[m]
+			fp := row[m] - m2*ff[(p-2)*ncomp+m]
+			m1 := b1 / alpha[(p-1)*ncomp+m]
+			alpha[p*ncomp+m] = cc - m1*dd[(p-1)*ncomp+m]
+			dd[p*ncomp+m] = e1[m] - m1*e2[m]
+			ff[p*ncomp+m] = fp - m1*ff[(p-1)*ncomp+m]
+		}
 	}
 	// Back substitution.
-	xp1, xp2 := 0.0, 0.0
+	var xp1, xp2 [ncomp]float64
 	for p := length - 1; p >= 0; p-- {
-		x := (ff[p] - dd[p]*xp1 - e2*xp2) / alpha[p]
-		s.rhs.Set(c, idxAt(p), x)
-		xp2, xp1 = xp1, x
+		w := s.rhs.MutRun(c, base+p*stride, ncomp)
+		for m := 0; m < ncomp; m++ {
+			x := (ff[p*ncomp+m] - dd[p*ncomp+m]*xp1[m] - e2[m]*xp2[m]) / alpha[p*ncomp+m]
+			w[m] = x
+			xp2[m], xp1[m] = xp1[m], x
+		}
 	}
-	c.Flops(length * 14)
+	c.Flops(length * ncomp * 14)
 }
 
 // solveDir factors one direction: dir 0 = x (lines along i, parallel over
@@ -274,47 +333,49 @@ func (s *SP) solvePenta(c *machine.CPU, lam2, lam4 float64, length int, alpha, d
 func (s *SP) solveDir(t *omp.Team, dir int) {
 	n := s.n
 	h2 := float64(n-1) * float64(n-1)
+	var lam2 [ncomp]float64
+	for m := 0; m < ncomp; m++ {
+		lam2[m] = s.dt * s.cm[m] * h2
+	}
+	lam4 := s.dt * s.eps
 	t.Parallel(func(tr *omp.Thread) {
-		alpha := make([]float64, n)
-		dd := make([]float64, n)
-		ff := make([]float64, n)
+		alpha := make([]float64, n*ncomp)
+		dd := make([]float64, n*ncomp)
+		ff := make([]float64, n*ncomp)
 		tr.For(1, n-1, omp.Static(), func(c *machine.CPU, from, to int) {
 			for outer := from; outer < to; outer++ {
 				for inner := 1; inner < n-1; inner++ {
-					for m := 0; m < ncomp; m++ {
-						lam2 := s.dt * s.cm[m] * h2
-						lam4 := s.dt * s.eps
-						outer, inner, m := outer, inner, m
-						var at func(p int) int
-						switch dir {
-						case 0:
-							at = func(p int) int { return s.idx(outer, inner, p+1, m) }
-						case 1:
-							at = func(p int) int { return s.idx(outer, p+1, inner, m) }
-						default:
-							at = func(p int) int { return s.idx(p+1, outer, inner, m) }
-						}
-						s.solvePenta(c, lam2, lam4, n-2, alpha, dd, ff, at)
+					var base, stride int
+					switch dir {
+					case 0:
+						base, stride = s.rhs.Vec(outer, inner, 1), ncomp
+					case 1:
+						base, stride = s.rhs.Vec(outer, 1, inner), n*ncomp
+					default:
+						base, stride = s.rhs.Vec(1, outer, inner), n*n*ncomp
 					}
+					s.solveLines(c, &lam2, lam4, n-2, alpha, dd, ff, base, stride)
 				}
 			}
 		})
 	})
 }
 
-// add accumulates u += rhs, parallel over k.
+// add accumulates u += rhs, parallel over k, one interior row per run.
 func (s *SP) add(t *omp.Team) {
 	n := s.n
+	L := (n - 2) * ncomp
 	t.Parallel(func(tr *omp.Thread) {
 		tr.For(1, n-1, omp.Static(), func(c *machine.CPU, from, to int) {
 			for k := from; k < to; k++ {
 				for j := 1; j < n-1; j++ {
-					for i := 1; i < n-1; i++ {
-						for m := 0; m < ncomp; m++ {
-							s.u.Add(c, s.idx(k, j, i, m), s.rhs.Get(c, s.idx(k, j, i, m)))
-						}
-						c.Flops(ncomp)
+					base := s.idx(k, j, 1, 0)
+					r := s.rhs.GetRun(c, base, L)
+					w := s.u.MutRun(c, base, L)
+					for p, v := range r {
+						w[p] += v
 					}
+					c.Flops(L)
 				}
 			}
 		})

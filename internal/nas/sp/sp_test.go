@@ -56,29 +56,32 @@ func TestPentaSolverAgainstDenseReference(t *testing.T) {
 	m := s.m
 	c := m.CPU(0)
 	const L = 7
-	lam2, lam4 := 1.3, 0.11
+	lam4 := 0.11
+	var lam2 [ncomp]float64
+	for mm := range lam2 {
+		lam2[mm] = 1.3
+	}
 	f := []float64{1, -2, 3, 0.5, -1.5, 2.5, 0.25}
-	scratch := m.NewArray("penta", L)
-	for i, v := range f {
-		scratch.Set(c, i, v)
-	}
-	// Point the solver's rhs at the scratch array via a tiny shim: reuse
-	// rhs storage offsets 0..L-1.
+	// The vectorised solver works on ncomp-component vectors at
+	// base+p*stride; load the same scalar system into every component of
+	// rhs offsets 0..L*ncomp-1 and read component 0 back.
 	rhs := s.rhs
-	for i, v := range f {
-		rhs.Set(c, i, v)
+	for p, v := range f {
+		for mm := 0; mm < ncomp; mm++ {
+			rhs.Set(c, p*ncomp+mm, v)
+		}
 	}
-	alpha := make([]float64, L)
-	dd := make([]float64, L)
-	ff := make([]float64, L)
-	s.solvePenta(c, lam2, lam4, L, alpha, dd, ff, func(p int) int { return p })
+	alpha := make([]float64, L*ncomp)
+	dd := make([]float64, L*ncomp)
+	ff := make([]float64, L*ncomp)
+	s.solveLines(c, &lam2, lam4, L, alpha, dd, ff, 0, ncomp)
 	x := make([]float64, L)
 	for i := 0; i < L; i++ {
-		x[i] = rhs.Data()[i]
+		x[i] = rhs.Data()[i*ncomp]
 	}
 	e2 := lam4
-	e1 := -lam2 - 4*lam4
-	d0 := 1 + 2*lam2 + 6*lam4
+	e1 := -lam2[0] - 4*lam4
+	d0 := 1 + 2*lam2[0] + 6*lam4
 	get := func(i int) float64 {
 		if i < 0 || i >= L {
 			return 0

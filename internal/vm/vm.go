@@ -235,6 +235,30 @@ func (pt *PageTable) CountMiss(vpn uint64, node int) {
 	}
 }
 
+// CountMissN records n memory accesses to vpn from node in one saturating
+// update, leaving the counter exactly where n CountMiss calls would: the
+// bulk-access path of internal/machine batches every miss a run takes on
+// one page into a single call.
+func (pt *PageTable) CountMissN(vpn uint64, node int, n uint32) {
+	if n == 0 {
+		return
+	}
+	p := &pt.counters[int(vpn)*pt.topo.Nodes()+node]
+	for {
+		old := atomic.LoadUint32(p)
+		if old >= pt.counterMax {
+			return
+		}
+		next := old + n
+		if next > pt.counterMax || next < old {
+			next = pt.counterMax
+		}
+		if atomic.CompareAndSwapUint32(p, old, next) {
+			return
+		}
+	}
+}
+
 // Counters copies the reference-counter row of vpn into dst (len >= nodes)
 // and returns it. Values are already saturated.
 func (pt *PageTable) Counters(vpn uint64, dst []uint32) []uint32 {

@@ -182,8 +182,10 @@ const (
 // NASBenchmarks lists the benchmark names in the paper's order.
 var NASBenchmarks = exp.BenchOrder
 
-// RunNAS runs one NAS benchmark ("BT", "SP", "CG", "MG" or "FT") under
-// the given configuration.
+// RunNAS runs one NAS benchmark under the given configuration: the
+// paper's five ("BT", "SP", "CG", "MG", "FT") or one of the extension
+// codes ("LU", "EP", "IS"), which share the driver but are excluded from
+// the figure sweeps.
 func RunNAS(name string, cfg NASConfig) (NASResult, error) {
 	b, ok := exp.Builder(name)
 	if !ok {
