@@ -1,6 +1,13 @@
 // Command sweep regenerates the paper's tables and figures on the
 // simulated machine and prints them as text tables with ASCII bars.
 //
+// Cells run concurrently on a bounded host worker pool (-jobs) and are
+// memoized across figures, so `sweep -all` simulates each unique
+// (benchmark, config) cell exactly once — Figure 1 is a subset of
+// Figure 4, and Table 2 reuses Figure 4's UPMlib cells. Output order is
+// deterministic regardless of completion order. Ctrl-C cancels the
+// sweep between cells.
+//
 // Examples:
 //
 //	sweep -table 1                  # memory hierarchy latencies
@@ -9,13 +16,16 @@
 //	sweep -table 2                  # steady-state slowdown statistics
 //	sweep -fig 5                    # record-replay on BT and SP
 //	sweep -fig 6                    # record-replay on the scaled BT
-//	sweep -all                      # everything (EXPERIMENTS.md input)
+//	sweep -all -jobs 8              # everything (EXPERIMENTS.md input)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -31,6 +41,8 @@ func main() {
 	benches := flag.String("benches", "", "comma-separated benchmark subset (default: all)")
 	seed := flag.Uint64("seed", 42, "workload seed")
 	iters := flag.Int("iters", 0, "override iteration count (0 = class default)")
+	jobs := flag.Int("jobs", 0, "concurrent cell simulations (0 = GOMAXPROCS)")
+	quiet := flag.Bool("quiet", false, "suppress the live progress line on stderr")
 	csvOut := flag.Bool("csv", false, "emit figure 1/4 data as CSV instead of bars")
 	flag.Parse()
 	csvMode = *csvOut
@@ -50,26 +62,65 @@ func main() {
 		o.Benches = strings.Split(strings.ToUpper(*benches), ",")
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cache := upmgo.NewSweepCache()
+	r := upmgo.SweepRunner{Jobs: *jobs, Cache: cache}
+	if !*quiet {
+		r.OnEvent = progressLine
+	}
+
 	t0 := time.Now()
 	switch {
 	case *all:
 		runTable1()
-		runFigure(1, o)
-		runFigure(4, o)
-		runTable2(o)
-		runFigure(5, o)
-		runFigure(6, o)
+		runFigure(ctx, r, 1, o)
+		runFigure(ctx, r, 4, o)
+		runTable2(ctx, r, o)
+		runFigure(ctx, r, 5, o)
+		runFigure(ctx, r, 6, o)
 	case *table == 1:
 		runTable1()
 	case *table == 2:
-		runTable2(o)
+		runTable2(ctx, r, o)
 	case *fig != 0:
-		runFigure(*fig, o)
+		runFigure(ctx, r, *fig, o)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
-	fmt.Fprintf(os.Stderr, "sweep: done in %s (host time)\n", time.Since(t0).Round(time.Millisecond))
+	njobs := *jobs
+	if njobs <= 0 {
+		njobs = runtime.GOMAXPROCS(0)
+	}
+	st := cache.Stats()
+	fmt.Fprintf(os.Stderr, "sweep: %d cells simulated, %d recalled from cache, done in %s (host time, -jobs %d)\n",
+		st.Misses, st.Hits, time.Since(t0).Round(time.Millisecond), njobs)
+}
+
+// progressLine renders finished cells as one live stderr line. The
+// runner serializes OnEvent calls, so the package-level counter is safe.
+var progressDone int
+
+func progressLine(ev upmgo.SweepEvent) {
+	if !ev.Done {
+		return
+	}
+	progressDone++
+	src := "sim"
+	if ev.CacheHit {
+		src = "hit"
+	}
+	line := fmt.Sprintf("[%d/%d] %s %-12s %8.4fs %s %s",
+		progressDone, ev.Total, ev.Spec.Bench, ev.Spec.Config.Label(),
+		ev.VirtualS, src, ev.Host.Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "\r%-78s", line)
+	if progressDone == ev.Total {
+		// Batch complete: clear the line so the next figure starts clean.
+		progressDone = 0
+		fmt.Fprintf(os.Stderr, "\r%78s\r", "")
+	}
 }
 
 func runTable1() {
@@ -79,15 +130,15 @@ func runTable1() {
 	fmt.Println()
 }
 
-func runFigure(fig int, o upmgo.SweepOptions) {
+func runFigure(ctx context.Context, r upmgo.SweepRunner, fig int, o upmgo.SweepOptions) {
 	switch fig {
 	case 1, 4:
 		var cells []upmgo.ExperimentCell
 		var err error
 		if fig == 1 {
-			cells, err = upmgo.Figure1(o)
+			cells, err = r.Figure1(ctx, o)
 		} else {
-			cells, err = upmgo.Figure4(o)
+			cells, err = r.Figure4(ctx, o)
 		}
 		if err != nil {
 			fatal("figure %d: %v", fig, err)
@@ -109,9 +160,9 @@ func runFigure(fig int, o upmgo.SweepOptions) {
 		var cells []upmgo.Figure5Cell
 		var err error
 		if fig == 5 {
-			cells, err = upmgo.Figure5(o)
+			cells, err = r.Figure5(ctx, o)
 		} else {
-			cells, err = upmgo.Figure6(o)
+			cells, err = r.Figure6(ctx, o)
 		}
 		if err != nil {
 			fatal("figure %d: %v", fig, err)
@@ -127,8 +178,8 @@ func runFigure(fig int, o upmgo.SweepOptions) {
 	fmt.Println()
 }
 
-func runTable2(o upmgo.SweepOptions) {
-	rows, err := upmgo.Table2(o)
+func runTable2(ctx context.Context, r upmgo.SweepRunner, o upmgo.SweepOptions) {
+	rows, err := r.Table2(ctx, o)
 	if err != nil {
 		fatal("table 2: %v", err)
 	}

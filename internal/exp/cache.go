@@ -1,0 +1,87 @@
+package exp
+
+import "sync"
+
+// Cache memoizes completed cells across sweeps, keyed by CellSpec.Key.
+// The paper's evaluation overlaps heavily: Figure 1's eight bars per
+// benchmark are a subset of Figure 4's twelve, and Table 2 re-reads
+// Figure 4's UPMlib cells; one Cache shared across a `sweep -all`
+// therefore runs each unique (bench, config) simulation exactly once.
+// It is safe for concurrent use, and duplicate in-flight requests
+// coalesce onto a single simulation.
+type Cache struct {
+	mu       sync.Mutex
+	cells    map[string]Cell
+	inflight map[string]*inflightCell
+	hits     uint64
+	misses   uint64
+}
+
+type inflightCell struct {
+	done chan struct{}
+	cell Cell
+	err  error
+}
+
+// NewCache returns an empty cell cache.
+func NewCache() *Cache {
+	return &Cache{cells: map[string]Cell{}, inflight: map[string]*inflightCell{}}
+}
+
+// CacheStats is a snapshot of memoization traffic.
+type CacheStats struct {
+	// Hits counts cells served without a new simulation (recalled, or
+	// joined onto one already in flight).
+	Hits uint64
+	// Misses counts cells that ran a fresh simulation.
+	Misses uint64
+}
+
+// Stats returns a snapshot of the hit/miss counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses}
+}
+
+// Len returns the number of completed cells held.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cells)
+}
+
+// cell returns the cached cell for key, running fn at most once per key:
+// concurrent callers with the same key wait for the first. Errors are
+// reported to every waiter but not cached, so a failed cell can be
+// retried. The bool reports whether the cell was served from the cache
+// (or an in-flight duplicate) rather than by this call's own simulation.
+func (c *Cache) cell(key string, fn func() (Cell, error)) (Cell, bool, error) {
+	c.mu.Lock()
+	if cell, ok := c.cells[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return cell, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-f.done
+		return f.cell, true, f.err
+	}
+	f := &inflightCell{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	f.cell, f.err = fn()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.cells[key] = f.cell
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.cell, false, f.err
+}

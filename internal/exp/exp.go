@@ -8,6 +8,8 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -68,15 +70,29 @@ type Cell struct {
 // Seconds returns the cell's main-loop time in virtual seconds.
 func (c Cell) Seconds() float64 { return c.Result.Seconds() }
 
+// ErrUnknownBenchmark reports a benchmark name outside the paper's five
+// and the extensions. Callers match it with errors.Is.
+var ErrUnknownBenchmark = errors.New("unknown NAS benchmark")
+
+// newMachine builds a simulated machine, wrapping errors with the
+// harness context. Table1 and the sweep cells (whose machines are built
+// inside nas.Run and wrapped by run) share this error path.
+func newMachine(mc machine.Config) (*machine.Machine, error) {
+	m, err := machine.New(mc)
+	if err != nil {
+		return nil, fmt.Errorf("exp: build machine: %w", err)
+	}
+	return m, nil
+}
+
 // Table1 probes the simulated memory hierarchy exactly as the paper's
 // Table 1 reports it: access latency by level and by hop count.
 func Table1() ([]Row, error) {
-	m, err := machine.New(machine.DefaultConfig())
+	m, err := newMachine(machine.DefaultConfig())
 	if err != nil {
 		return nil, err
 	}
 	a := m.NewArray("probe", 1<<16)
-	lat := m.Lat
 	rows := []Row{}
 
 	c := m.CPU(0)
@@ -114,7 +130,6 @@ func Table1() ([]Row, error) {
 		probe.Load(a.Addr(0))
 		rows = append(rows, Row{"remote memory", hops, float64(probe.Now()-t0) / 1e3})
 	}
-	_ = lat
 	return rows, nil
 }
 
@@ -141,10 +156,21 @@ func WriteTable1(w io.Writer) error {
 
 // SweepOptions selects what a figure sweep runs.
 type SweepOptions struct {
-	Class      nas.Class
-	Benches    []string // nil = all five
-	Seed       uint64
+	Class   nas.Class
+	Benches []string // nil = the figure's default set (all five; BT+SP for Figure 5)
+	Seed    uint64
+	// Scale repeats each phase body in place (the paper's synthetic
+	// scaling; Figure 5 runs 1, Figure 6 runs 4). 0 = the figure's
+	// default. Ignored by Figures 1/4 and Table 2, which the paper runs
+	// at native phase length only.
+	Scale      int
 	Iterations int // 0 = class default
+	// Threads sets the simulated team size; 0 = all CPUs (the paper's
+	// setup). Threads 1 makes every cell's simulation exactly
+	// reproducible: multi-threaded teams are deterministic only up to
+	// the simulator's intra-team interleaving (see the equivalence
+	// contract in internal/nas).
+	Threads int
 }
 
 func (o *SweepOptions) defaults() {
@@ -157,11 +183,11 @@ func (o *SweepOptions) defaults() {
 func run(bench string, cfg nas.Config) (Cell, error) {
 	b, ok := Builder(bench)
 	if !ok {
-		return Cell{}, fmt.Errorf("exp: unknown benchmark %q", bench)
+		return Cell{}, fmt.Errorf("exp: %w: %q", ErrUnknownBenchmark, bench)
 	}
 	r, err := nas.Run(b, cfg)
 	if err != nil {
-		return Cell{}, err
+		return Cell{}, fmt.Errorf("exp: %s %s: %w", bench, cfg.Label(), err)
 	}
 	if r.VerifyErr != nil {
 		return Cell{}, fmt.Errorf("exp: %s %s failed verification: %w", bench, cfg.Label(), r.VerifyErr)
@@ -169,52 +195,58 @@ func run(bench string, cfg nas.Config) (Cell, error) {
 	return Cell{Bench: bench, Label: r.Label, Result: r}, nil
 }
 
-// Figure1 reproduces the paper's Figure 1: each benchmark under
-// ft/rr/rand/wc placement, plain and with the IRIX-style kernel migration
-// engine (8 bars per benchmark).
-func Figure1(o SweepOptions) ([]Cell, error) {
+// Figure1Specs enumerates the paper's Figure 1 in presentation order:
+// each benchmark under ft/rr/rand/wc placement, plain and with the
+// IRIX-style kernel migration engine (8 cells per benchmark).
+func Figure1Specs(o SweepOptions) []CellSpec {
 	o.defaults()
-	var out []Cell
+	var specs []CellSpec
 	for _, bench := range o.Benches {
 		for _, p := range vm.Policies {
 			for _, km := range []bool{false, true} {
-				c, err := run(bench, nas.Config{
+				specs = append(specs, CellSpec{bench, nas.Config{
 					Class: o.Class, Placement: p, KernelMig: km,
-					Seed: o.Seed, Iterations: o.Iterations,
-				})
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, c)
+					Seed: o.Seed, Iterations: o.Iterations, Threads: o.Threads,
+				}})
 			}
 		}
 	}
-	return out, nil
+	return specs
 }
 
-// Figure4 reproduces the paper's Figure 4: Figure 1 plus a UPMlib bar per
-// placement (12 bars per benchmark).
-func Figure4(o SweepOptions) ([]Cell, error) {
+// Figure4Specs enumerates the paper's Figure 4 in presentation order:
+// Figure 1 plus a UPMlib cell per placement (12 cells per benchmark).
+// Figure 1's cells are a strict subset, so a shared Cache runs the
+// overlap once.
+func Figure4Specs(o SweepOptions) []CellSpec {
 	o.defaults()
-	var out []Cell
+	var specs []CellSpec
 	for _, bench := range o.Benches {
 		for _, p := range vm.Policies {
 			for _, mode := range []struct {
 				km  bool
 				upm nas.Mode
 			}{{false, nas.UPMOff}, {true, nas.UPMOff}, {false, nas.UPMDistribute}} {
-				c, err := run(bench, nas.Config{
+				specs = append(specs, CellSpec{bench, nas.Config{
 					Class: o.Class, Placement: p, KernelMig: mode.km, UPM: mode.upm,
-					Seed: o.Seed, Iterations: o.Iterations,
-				})
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, c)
+					Seed: o.Seed, Iterations: o.Iterations, Threads: o.Threads,
+				}})
 			}
 		}
 	}
-	return out, nil
+	return specs
+}
+
+// Figure1 reproduces the paper's Figure 1 with a default Runner
+// (parallel, unmemoized). For cancellation, shared caching and
+// progress, use Runner.Figure1.
+func Figure1(o SweepOptions) ([]Cell, error) {
+	return Runner{}.Figure1(context.Background(), o)
+}
+
+// Figure4 reproduces the paper's Figure 4 with a default Runner.
+func Figure4(o SweepOptions) ([]Cell, error) {
+	return Runner{}.Figure4(context.Background(), o)
 }
 
 // Table2Row is one line of the paper's Table 2.
@@ -228,31 +260,31 @@ type Table2Row struct {
 	FirstIterFrac map[string]float64
 }
 
-// Table2 reproduces the paper's Table 2 from upmlib-enabled runs.
-func Table2(o SweepOptions) ([]Table2Row, error) {
+// table2Placements are the non-ft placements Table 2 compares against
+// the first-touch baseline, in the paper's column order.
+var table2Placements = []vm.Policy{vm.RoundRobin, vm.Random, vm.WorstCase}
+
+// Table2Specs enumerates the paper's Table 2 cells in presentation
+// order: per benchmark, the UPMlib-enabled ft baseline followed by the
+// rr/rand/wc runs. All four also appear in Figure 4, so a shared Cache
+// reruns none of them.
+func Table2Specs(o SweepOptions) []CellSpec {
 	o.defaults()
-	var out []Table2Row
+	var specs []CellSpec
 	for _, bench := range o.Benches {
-		ft, err := run(bench, nas.Config{Class: o.Class, Placement: vm.FirstTouch, UPM: nas.UPMDistribute, Seed: o.Seed, Iterations: o.Iterations})
-		if err != nil {
-			return nil, err
+		for _, p := range append([]vm.Policy{vm.FirstTouch}, table2Placements...) {
+			specs = append(specs, CellSpec{bench, nas.Config{
+				Class: o.Class, Placement: p, UPM: nas.UPMDistribute,
+				Seed: o.Seed, Iterations: o.Iterations, Threads: o.Threads,
+			}})
 		}
-		row := Table2Row{Bench: bench, SlowdownTail: map[string]float64{}, FirstIterFrac: map[string]float64{}}
-		for _, p := range []vm.Policy{vm.RoundRobin, vm.Random, vm.WorstCase} {
-			c, err := run(bench, nas.Config{Class: o.Class, Placement: p, UPM: nas.UPMDistribute, Seed: o.Seed, Iterations: o.Iterations})
-			if err != nil {
-				return nil, err
-			}
-			row.SlowdownTail[p.String()] = tailSlowdown(c.Result.IterPS, ft.Result.IterPS)
-			if m := c.Result.UPM.Migrations; m > 0 {
-				row.FirstIterFrac[p.String()] = float64(c.Result.UPM.FirstInvocation) / float64(m)
-			} else {
-				row.FirstIterFrac[p.String()] = 1
-			}
-		}
-		out = append(out, row)
 	}
-	return out, nil
+	return specs
+}
+
+// Table2 reproduces the paper's Table 2 with a default Runner.
+func Table2(o SweepOptions) ([]Table2Row, error) {
+	return Runner{}.Table2(context.Background(), o)
 }
 
 // tailSlowdown compares the last 75% of the iterations of a run against
@@ -285,12 +317,18 @@ type Figure5Cell struct {
 	Migrations int64
 }
 
-// Figure5 reproduces the paper's Figure 5: BT and SP with ft placement
-// under IRIX / IRIXmig / upmlib / record-replay. scale=1; Figure6 passes
-// scale=4 for BT.
-func Figure5(o SweepOptions, benches []string, scale int) ([]Figure5Cell, error) {
-	if benches == nil {
-		benches = []string{"BT", "SP"}
+// Figure5Specs enumerates the paper's Figure 5/6 cells in presentation
+// order: o.Benches (default BT and SP) with ft placement under IRIX /
+// IRIXmig / upmlib / record-replay, each phase body repeated o.Scale
+// times (default 1; Figure 6 uses 4). At Scale 1 the first three cells
+// per benchmark also appear in Figures 1 and 4, so a shared Cache
+// recalls them.
+func Figure5Specs(o SweepOptions) []CellSpec {
+	if o.Benches == nil {
+		o.Benches = []string{"BT", "SP"}
+	}
+	if o.Scale < 1 {
+		o.Scale = 1
 	}
 	// The paper's "n most critical pages" is 20 pages of 16 KB; on the
 	// scaled-down classes the equivalent amount of data spans more of the
@@ -298,8 +336,8 @@ func Figure5(o SweepOptions, benches []string, scale int) ([]Figure5Cell, error)
 	mc := machine.DefaultConfig()
 	o.Class.MachineTweak(&mc)
 	maxCritical := 20 * 16 * 1024 / mc.PageBytes
-	var out []Figure5Cell
-	for _, bench := range benches {
+	var specs []CellSpec
+	for _, bench := range o.Benches {
 		cfgs := []nas.Config{
 			{Placement: vm.FirstTouch},
 			{Placement: vm.FirstTouch, KernelMig: true},
@@ -311,36 +349,42 @@ func Figure5(o SweepOptions, benches []string, scale int) ([]Figure5Cell, error)
 			cfg.Class = o.Class
 			cfg.Seed = o.Seed
 			cfg.Iterations = o.Iterations
-			cfg.ComputeScale = scale
+			cfg.Threads = o.Threads
+			cfg.ComputeScale = o.Scale
 			// Repeating each phase body in place (the paper's synthetic
 			// scaling) changes the numerics, exactly as in the paper,
 			// where the scaled experiment is timed but not verified.
-			cfg.SkipVerify = scale > 1
-			c, err := run(bench, cfg)
-			if err != nil {
-				return nil, err
-			}
-			var phase int64
-			for _, p := range c.Result.PhasePS {
-				phase += p
-			}
-			out = append(out, Figure5Cell{
-				Bench:      bench,
-				Label:      c.Label,
-				Seconds:    c.Seconds(),
-				OverheadS:  float64(c.Result.UPM.OverheadPS) / 1e12,
-				PhaseS:     float64(phase) / 1e12,
-				Migrations: c.Result.UPM.Migrations + c.Result.UPM.ReplayMigrations + c.Result.UPM.UndoMigrations,
-			})
+			cfg.SkipVerify = o.Scale > 1
+			specs = append(specs, CellSpec{bench, cfg})
 		}
 	}
-	return out, nil
+	return specs
+}
+
+// Figure5 reproduces the paper's Figure 5 with a default Runner:
+// o.Benches (default BT and SP) at o.Scale (default 1).
+func Figure5(o SweepOptions) ([]Figure5Cell, error) {
+	return Runner{}.Figure5(context.Background(), o)
+}
+
+// Figure5Scaled is the old positional form of Figure5.
+//
+// Deprecated: set SweepOptions.Benches and SweepOptions.Scale and call
+// Figure5 (or Runner.Figure5) instead.
+func Figure5Scaled(o SweepOptions, benches []string, scale int) ([]Figure5Cell, error) {
+	if benches != nil {
+		o.Benches = benches
+	}
+	if scale != 0 {
+		o.Scale = scale
+	}
+	return Figure5(o)
 }
 
 // Figure6 reproduces the paper's Figure 6: the synthetically scaled BT
 // (each phase repeated 4 times) under the Figure 5 configurations.
 func Figure6(o SweepOptions) ([]Figure5Cell, error) {
-	return Figure5(o, []string{"BT"}, 4)
+	return Runner{}.Figure6(context.Background(), o)
 }
 
 // Summary aggregates a figure's cells the way the paper's Section 2.2

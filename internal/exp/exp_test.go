@@ -141,7 +141,7 @@ func TestTable2Shapes(t *testing.T) {
 }
 
 func TestFigure5ShapesAndOverheadAccounting(t *testing.T) {
-	cells, err := Figure5(SweepOptions{Class: nas.ClassS, Seed: 42}, []string{"BT"}, 1)
+	cells, err := Figure5(SweepOptions{Class: nas.ClassS, Seed: 42, Benches: []string{"BT"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestFigure5ShapesAndOverheadAccounting(t *testing.T) {
 }
 
 func TestFigure6UsesScaledBT(t *testing.T) {
-	base, err := Figure5(SweepOptions{Class: nas.ClassS, Seed: 42, Iterations: 3}, []string{"BT"}, 1)
+	base, err := Figure5(SweepOptions{Class: nas.ClassS, Seed: 42, Iterations: 3, Benches: []string{"BT"}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,236 @@
+package exp
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"upmgo/internal/nas"
+)
+
+// CellSpec names one figure/table cell: a benchmark and the exact
+// configuration of its run. Every cell is an independent simulation on
+// its own Machine, which is what makes the sweep embarrassingly
+// parallel on the host.
+type CellSpec struct {
+	Bench  string
+	Config nas.Config
+}
+
+// Key returns the cell's memoization key. The second result is false
+// when the config cannot be canonically fingerprinted (see
+// nas.Config.Fingerprint); such cells always simulate.
+func (s CellSpec) Key() (string, bool) {
+	fp, ok := s.Config.Fingerprint()
+	if !ok {
+		return "", false
+	}
+	return s.Bench + "\x00" + fp, true
+}
+
+// Event is one progress notification from a Runner: each cell emits one
+// event when it starts and one when it finishes.
+type Event struct {
+	Spec  CellSpec
+	Index int  // position of the cell in the batch (presentation order)
+	Total int  // number of cells in the batch
+	Done  bool // false: cell started; true: cell finished
+	// The remaining fields are set on finished events only.
+	CacheHit bool          // served from the cache, no new simulation
+	VirtualS float64       // simulated seconds of the cell's main loop
+	Host     time.Duration // host wall-clock spent on (or waiting for) the cell
+	Err      error
+}
+
+// Runner executes batches of cells on a bounded host worker pool. The
+// zero value runs with GOMAXPROCS workers and no memoization; it is a
+// plain options struct and may be copied freely.
+//
+// Output ordering is deterministic: results come back in spec
+// (presentation) order regardless of completion order, so rendered
+// figures are byte-stable across Jobs values. The Jobs level never
+// influences a cell's numbers — each cell simulates on its own Machine.
+// Cross-run bit-identity of an individual cell follows the simulator's
+// own contract: exact at SweepOptions.Threads 1, statistical at full
+// team width, where the simulated coherence protocol resolves races in
+// host arrival order (see internal/nas's equivalence tests).
+type Runner struct {
+	// Jobs bounds the number of concurrently simulated cells.
+	// 0 or negative means runtime.GOMAXPROCS(0).
+	Jobs int
+	// Cache, when non-nil, memoizes completed cells across batches.
+	Cache *Cache
+	// OnEvent, when non-nil, receives per-cell progress events. Calls
+	// are serialized by the runner, so the callback needs no locking.
+	OnEvent func(Event)
+}
+
+// Cells runs one batch of cell specs and returns their cells in spec
+// order. On error it returns the first failing cell's error in
+// presentation order (not completion order) and abandons cells that
+// have not started. Cancelling ctx stops the batch promptly — cells
+// already simulating run to completion, no new cell starts — and Cells
+// returns ctx.Err().
+func (r Runner) Cells(ctx context.Context, specs []CellSpec) ([]Cell, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	jobs := r.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(specs) {
+		jobs = len(specs)
+	}
+
+	var emitMu sync.Mutex
+	emit := func(ev Event) {
+		if r.OnEvent == nil {
+			return
+		}
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		r.OnEvent(ev)
+	}
+
+	// cctx stops the feeder on the first failure; the caller's ctx is
+	// consulted afterwards so an internal abort is not mistaken for an
+	// external cancellation.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := range specs {
+			select {
+			case next <- i:
+			case <-cctx.Done():
+				return
+			}
+		}
+	}()
+
+	cells := make([]Cell, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				spec := specs[i]
+				emit(Event{Spec: spec, Index: i, Total: len(specs)})
+				start := time.Now()
+				c, hit, err := r.runCell(spec)
+				cells[i], errs[i] = c, err
+				emit(Event{Spec: spec, Index: i, Total: len(specs), Done: true,
+					CacheHit: hit, VirtualS: c.Seconds(), Host: time.Since(start), Err: err})
+				if err != nil {
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cells, nil
+}
+
+// runCell executes or recalls one cell.
+func (r Runner) runCell(spec CellSpec) (Cell, bool, error) {
+	if r.Cache != nil {
+		if key, ok := spec.Key(); ok {
+			return r.Cache.cell(key, func() (Cell, error) { return run(spec.Bench, spec.Config) })
+		}
+	}
+	c, err := run(spec.Bench, spec.Config)
+	return c, false, err
+}
+
+// Figure1 runs the paper's Figure 1 sweep (see Figure1Specs) on the pool.
+func (r Runner) Figure1(ctx context.Context, o SweepOptions) ([]Cell, error) {
+	return r.Cells(ctx, Figure1Specs(o))
+}
+
+// Figure4 runs the paper's Figure 4 sweep (see Figure4Specs) on the pool.
+func (r Runner) Figure4(ctx context.Context, o SweepOptions) ([]Cell, error) {
+	return r.Cells(ctx, Figure4Specs(o))
+}
+
+// Table2 runs the paper's Table 2 cells (see Table2Specs) on the pool
+// and assembles the rows.
+func (r Runner) Table2(ctx context.Context, o SweepOptions) ([]Table2Row, error) {
+	o.defaults()
+	cells, err := r.Cells(ctx, Table2Specs(o))
+	if err != nil {
+		return nil, err
+	}
+	per := 1 + len(table2Placements)
+	var out []Table2Row
+	for i, bench := range o.Benches {
+		ft := cells[i*per]
+		row := Table2Row{Bench: bench, SlowdownTail: map[string]float64{}, FirstIterFrac: map[string]float64{}}
+		for j, p := range table2Placements {
+			c := cells[i*per+1+j]
+			row.SlowdownTail[p.String()] = tailSlowdown(c.Result.IterPS, ft.Result.IterPS)
+			if m := c.Result.UPM.Migrations; m > 0 {
+				row.FirstIterFrac[p.String()] = float64(c.Result.UPM.FirstInvocation) / float64(m)
+			} else {
+				row.FirstIterFrac[p.String()] = 1
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Figure5 runs the paper's Figure 5 sweep (see Figure5Specs) on the
+// pool: o.Benches (default BT and SP) under ft / ft-IRIXmig / ft-upmlib
+// / ft-recrep at o.Scale (default 1).
+func (r Runner) Figure5(ctx context.Context, o SweepOptions) ([]Figure5Cell, error) {
+	cells, err := r.Cells(ctx, Figure5Specs(o))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Figure5Cell, len(cells))
+	for i, c := range cells {
+		var phase int64
+		for _, p := range c.Result.PhasePS {
+			phase += p
+		}
+		out[i] = Figure5Cell{
+			Bench:      c.Bench,
+			Label:      c.Label,
+			Seconds:    c.Seconds(),
+			OverheadS:  float64(c.Result.UPM.OverheadPS) / 1e12,
+			PhaseS:     float64(phase) / 1e12,
+			Migrations: c.Result.UPM.Migrations + c.Result.UPM.ReplayMigrations + c.Result.UPM.UndoMigrations,
+		}
+	}
+	return out, nil
+}
+
+// Figure6 is Figure5 with the paper's Figure 6 defaults: the
+// synthetically scaled BT (Scale 4) unless o overrides them.
+func (r Runner) Figure6(ctx context.Context, o SweepOptions) ([]Figure5Cell, error) {
+	if o.Benches == nil {
+		o.Benches = []string{"BT"}
+	}
+	if o.Scale == 0 {
+		o.Scale = 4
+	}
+	return r.Figure5(ctx, o)
+}

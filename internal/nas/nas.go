@@ -176,6 +176,25 @@ type Config struct {
 	SkipVerify bool
 }
 
+// Fingerprint returns a canonical text encoding of the configuration,
+// suitable as a memoization key: two configs with equal fingerprints
+// drive bit-identical simulations, because Run is deterministic in the
+// config alone. Zero values that Run itself normalises are canonicalised
+// (ComputeScale 0 and 1 deliberately collide). Iterations 0 means "class
+// default" and is kept distinct from an explicit equal count — that is
+// conservative (two cache entries) but never wrong. The second result is
+// false when the config cannot be canonically encoded (a Tweak function
+// is set) and therefore must not be memoized.
+func (c Config) Fingerprint() (string, bool) {
+	if c.Tweak != nil {
+		return "", false
+	}
+	if c.ComputeScale < 1 {
+		c.ComputeScale = 1
+	}
+	return fmt.Sprintf("%+v", c), true
+}
+
 // Label renders the paper's bar labels, e.g. "rr-IRIXmig" or "ft-upmlib".
 func (c Config) Label() string {
 	switch {

@@ -30,6 +30,7 @@
 package upmgo
 
 import (
+	"fmt"
 	"io"
 
 	"upmgo/internal/exp"
@@ -189,34 +190,59 @@ var NASBenchmarks = exp.BenchOrder
 func RunNAS(name string, cfg NASConfig) (NASResult, error) {
 	b, ok := exp.Builder(name)
 	if !ok {
-		return NASResult{}, errUnknownBenchmark(name)
+		return NASResult{}, fmt.Errorf(`upmgo: %w: %q (want "BT", "SP", "CG", "MG", "FT", or the "LU"/"EP"/"IS" extensions)`, ErrUnknownBenchmark, name)
 	}
 	return nas.Run(b, cfg)
 }
 
-type errUnknownBenchmark string
-
-func (e errUnknownBenchmark) Error() string {
-	return "upmgo: unknown NAS benchmark " + string(e) + ` (want "BT", "SP", "CG", "MG", "FT", or the "LU"/"EP"/"IS" extensions)`
-}
+// ErrUnknownBenchmark is the sentinel wrapped by RunNAS and the figure
+// sweeps when a benchmark name is neither one of the paper's five nor
+// an extension; match it with errors.Is.
+var ErrUnknownBenchmark = exp.ErrUnknownBenchmark
 
 // Experiment harness — the paper's tables and figures.
 type (
 	// ExperimentCell is one bar of Figure 1/4.
 	ExperimentCell = exp.Cell
-	// SweepOptions selects the scope of a figure sweep.
+	// SweepOptions selects the scope of a figure sweep (class, benchmark
+	// subset, seed, iteration override, synthetic phase scale).
 	SweepOptions = exp.SweepOptions
 	// Table2Row is one line of the paper's Table 2.
 	Table2Row = exp.Table2Row
 	// Figure5Cell is one bar of Figure 5/6 with its overhead split.
 	Figure5Cell = exp.Figure5Cell
+	// SweepRunner executes figure/table cells concurrently on a bounded
+	// host worker pool with deterministic (presentation-order) output:
+	// construct one, optionally attach a SweepCache and an OnEvent
+	// progress callback, and call its context-taking Figure1/Figure4/
+	// Table2/Figure5/Figure6 methods. The zero value runs with GOMAXPROCS
+	// workers and no memoization.
+	SweepRunner = exp.Runner
+	// SweepCache memoizes completed cells across sweeps, so overlapping
+	// figures (Figure 1 ⊂ Figure 4; Table 2 reuses Figure 4's UPMlib
+	// cells) simulate each unique (benchmark, config) cell exactly once.
+	SweepCache = exp.Cache
+	// SweepCacheStats is a snapshot of a SweepCache's hit/miss counters.
+	SweepCacheStats = exp.CacheStats
+	// SweepEvent is one per-cell progress notification from a SweepRunner.
+	SweepEvent = exp.Event
+	// SweepCellSpec names one figure/table cell: a benchmark plus the
+	// exact NASConfig of its run.
+	SweepCellSpec = exp.CellSpec
 )
+
+// NewSweepCache returns an empty cell cache to share across sweeps.
+func NewSweepCache() *SweepCache { return exp.NewCache() }
 
 // WriteTable1 renders the paper's Table 1 (hierarchy latencies) to w.
 func WriteTable1(w io.Writer) error { return exp.WriteTable1(w) }
 
 // WriteCellsCSV renders Figure 1/4 cells as CSV for external plotting.
 func WriteCellsCSV(w io.Writer, cells []ExperimentCell) { exp.WriteCellsCSV(w, cells) }
+
+// The Figure/Table convenience functions below run a default SweepRunner
+// (parallel, unmemoized, background context). For cancellation, shared
+// caching across figures, or progress events, use a SweepRunner directly.
 
 // Figure1 regenerates the paper's Figure 1 (placement × kernel migration).
 func Figure1(o SweepOptions) ([]ExperimentCell, error) { return exp.Figure1(o) }
@@ -228,11 +254,10 @@ func Figure4(o SweepOptions) ([]ExperimentCell, error) { return exp.Figure4(o) }
 // first-iteration migration fractions).
 func Table2(o SweepOptions) ([]Table2Row, error) { return exp.Table2(o) }
 
-// Figure5 regenerates the paper's Figure 5 (record–replay on BT and SP).
-func Figure5(o SweepOptions) ([]Figure5Cell, error) {
-	return exp.Figure5(o, nil, 1)
-}
+// Figure5 regenerates the paper's Figure 5 (record–replay) on
+// o.Benches (default BT and SP) at o.Scale (default 1).
+func Figure5(o SweepOptions) ([]Figure5Cell, error) { return exp.Figure5(o) }
 
-// Figure6 regenerates the paper's Figure 6 (record–replay on the
-// synthetically scaled BT).
+// Figure6 regenerates the paper's Figure 6: Figure 5 on the
+// synthetically scaled BT (o.Scale default 4).
 func Figure6(o SweepOptions) ([]Figure5Cell, error) { return exp.Figure6(o) }

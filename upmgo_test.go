@@ -5,6 +5,9 @@
 package upmgo_test
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -104,6 +107,75 @@ func TestPublicRunNASUnknownName(t *testing.T) {
 	_, err := upmgo.RunNAS("UA", upmgo.NASConfig{})
 	if err == nil || !strings.Contains(err.Error(), "UA") {
 		t.Errorf("unknown benchmark error = %v", err)
+	}
+	if !errors.Is(err, upmgo.ErrUnknownBenchmark) {
+		t.Errorf("RunNAS error %v does not wrap ErrUnknownBenchmark", err)
+	}
+	_, err = upmgo.Figure1(upmgo.SweepOptions{Class: upmgo.ClassS, Benches: []string{"UA"}})
+	if !errors.Is(err, upmgo.ErrUnknownBenchmark) {
+		t.Errorf("Figure1 error %v does not wrap ErrUnknownBenchmark", err)
+	}
+}
+
+func TestPublicSweepRunnerWithCache(t *testing.T) {
+	cache := upmgo.NewSweepCache()
+	r := upmgo.SweepRunner{Jobs: 2, Cache: cache}
+	o := upmgo.SweepOptions{Class: upmgo.ClassS, Benches: []string{"BT"}, Seed: 42}
+	first, err := r.Figure1(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 8 {
+		t.Fatalf("got %d cells, want 8", len(first))
+	}
+	if st := cache.Stats(); st.Misses != 8 || st.Hits != 0 {
+		t.Errorf("first sweep stats %+v, want 8 misses", st)
+	}
+	again, err := r.Figure1(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Misses != 8 || st.Hits != 8 {
+		t.Errorf("second sweep stats %+v, want 8 misses, 8 hits", st)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Error("cached sweep differs from the original")
+	}
+}
+
+func TestPublicSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := upmgo.SweepRunner{Jobs: 2}
+	_, err := r.Figure1(ctx, upmgo.SweepOptions{Class: upmgo.ClassS, Benches: []string{"BT"}})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled sweep returned %v, want context.Canceled", err)
+	}
+}
+
+func TestPublicFigure5ScaleOption(t *testing.T) {
+	// Threads 1: the Figure6-vs-Figure5 comparison below needs two fresh
+	// runs to be exactly reproducible.
+	o := upmgo.SweepOptions{Class: upmgo.ClassS, Seed: 42, Iterations: 3, Benches: []string{"BT"}, Threads: 1}
+	base, err := upmgo.Figure5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := o
+	scaled.Scale = 4
+	s, err := upmgo.Figure5(scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0].Seconds < 2*base[0].Seconds {
+		t.Errorf("Scale 4 BT (%.4fs) not clearly longer than native (%.4fs)", s[0].Seconds, base[0].Seconds)
+	}
+	f6, err := upmgo.Figure6(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f6, s) {
+		t.Error("Figure6 != Figure5 with Scale 4")
 	}
 }
 
