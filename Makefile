@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-host sweep examples clean
+.PHONY: all build test race cover bench bench-host sweep examples clean
 
 all: build test
 
@@ -13,6 +13,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Per-package coverage, then the checked-in floors (ci/coverage_floors.txt).
+cover:
+	$(GO) test -cover ./...
+	sh ci/check_coverage.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

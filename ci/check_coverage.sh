@@ -1,0 +1,27 @@
+#!/bin/sh
+# check_coverage.sh enforces the per-package statement-coverage floors
+# recorded in ci/coverage_floors.txt: for each listed package it runs
+# `go test -cover` and fails if the reported coverage is below the floor.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+while read -r pkg floor; do
+	case "$pkg" in
+	"" | \#*) continue ;;
+	esac
+	out=$(go test -cover "./${pkg#upmgo/}")
+	pct=$(printf '%s\n' "$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+	if [ -z "$pct" ]; then
+		echo "coverage: $pkg reported no coverage figure" >&2
+		fail=1
+		continue
+	fi
+	if awk "BEGIN { exit !($pct < $floor) }"; then
+		echo "coverage: $pkg at ${pct}%, below the ${floor}% floor" >&2
+		fail=1
+	else
+		echo "coverage: $pkg at ${pct}% (floor ${floor}%)"
+	fi
+done <ci/coverage_floors.txt
+exit $fail

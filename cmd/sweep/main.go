@@ -16,13 +16,16 @@
 //	sweep -table 2                  # steady-state slowdown statistics
 //	sweep -fig 5                    # record-replay on BT and SP
 //	sweep -fig 6                    # record-replay on the scaled BT
+//	sweep -fig 5 -trace traces/     # + per-cell Chrome traces
 //	sweep -all -jobs 8              # everything (EXPERIMENTS.md input)
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -34,18 +37,52 @@ import (
 )
 
 func main() {
-	fig := flag.Int("fig", 0, "figure to regenerate: 1, 4, 5 or 6")
-	table := flag.Int("table", 0, "table to regenerate: 1 or 2")
-	all := flag.Bool("all", false, "regenerate every table and figure")
-	class := flag.String("class", "W", "problem class: S, W or A")
-	benches := flag.String("benches", "", "comma-separated benchmark subset (default: all)")
-	seed := flag.Uint64("seed", 42, "workload seed")
-	iters := flag.Int("iters", 0, "override iteration count (0 = class default)")
-	jobs := flag.Int("jobs", 0, "concurrent cell simulations (0 = GOMAXPROCS)")
-	quiet := flag.Bool("quiet", false, "suppress the live progress line on stderr")
-	csvOut := flag.Bool("csv", false, "emit figure 1/4 data as CSV instead of bars")
-	flag.Parse()
-	csvMode = *csvOut
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp), errors.Is(err, errUsage):
+		os.Exit(2)
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// errUsage reports an invocation that selected nothing to run.
+var errUsage = errors.New("nothing selected: pass -all, -fig or -table")
+
+// sweeper holds one invocation's output streams and rendering state, so
+// run is re-entrant and testable (main used package-level variables).
+type sweeper struct {
+	out  io.Writer
+	errw io.Writer
+	csv  bool
+	done int // finished cells on the current progress line
+}
+
+// run is main without the process exit: it parses args, runs the
+// selected sweeps, and writes tables to stdout and progress to stderr.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.Int("fig", 0, "figure to regenerate: 1, 4, 5 or 6")
+	table := fs.Int("table", 0, "table to regenerate: 1 or 2")
+	all := fs.Bool("all", false, "regenerate every table and figure")
+	class := fs.String("class", "W", "problem class: S, W or A")
+	benches := fs.String("benches", "", "comma-separated benchmark subset (default: all)")
+	seed := fs.Uint64("seed", 42, "workload seed")
+	iters := fs.Int("iters", 0, "override iteration count (0 = class default)")
+	jobs := fs.Int("jobs", 0, "concurrent cell simulations (0 = GOMAXPROCS)")
+	quiet := fs.Bool("quiet", false, "suppress the live progress line on stderr")
+	csvOut := fs.Bool("csv", false, "emit figure 1/4 data as CSV instead of bars")
+	traceDir := fs.String("trace", "", "write per-cell Chrome traces and text summaries into this directory (disables memoization)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
 
 	o := upmgo.SweepOptions{Seed: *seed, Iterations: *iters}
 	switch strings.ToUpper(*class) {
@@ -56,81 +93,96 @@ func main() {
 	case "A":
 		o.Class = upmgo.ClassA
 	default:
-		fatal("unknown class %q", *class)
+		return fmt.Errorf("unknown class %q", *class)
 	}
 	if *benches != "" {
 		o.Benches = strings.Split(strings.ToUpper(*benches), ",")
 	}
 
+	if !*all && *table == 0 && *fig == 0 {
+		fs.Usage()
+		return errUsage
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	s := &sweeper{out: stdout, errw: stderr, csv: *csvOut}
 	cache := upmgo.NewSweepCache()
-	r := upmgo.SweepRunner{Jobs: *jobs, Cache: cache}
+	r := upmgo.SweepRunner{Jobs: *jobs, Cache: cache, TraceDir: *traceDir}
 	if !*quiet {
-		r.OnEvent = progressLine
+		r.OnEvent = s.progressLine
 	}
 
 	t0 := time.Now()
+	var err error
 	switch {
 	case *all:
-		runTable1()
-		runFigure(ctx, r, 1, o)
-		runFigure(ctx, r, 4, o)
-		runTable2(ctx, r, o)
-		runFigure(ctx, r, 5, o)
-		runFigure(ctx, r, 6, o)
+		err = s.runTable1()
+		for _, f := range []int{1, 4} {
+			if err == nil {
+				err = s.runFigure(ctx, r, f, o)
+			}
+		}
+		if err == nil {
+			err = s.runTable2(ctx, r, o)
+		}
+		for _, f := range []int{5, 6} {
+			if err == nil {
+				err = s.runFigure(ctx, r, f, o)
+			}
+		}
 	case *table == 1:
-		runTable1()
+		err = s.runTable1()
 	case *table == 2:
-		runTable2(ctx, r, o)
-	case *fig != 0:
-		runFigure(ctx, r, *fig, o)
+		err = s.runTable2(ctx, r, o)
 	default:
-		flag.Usage()
-		os.Exit(2)
+		err = s.runFigure(ctx, r, *fig, o)
+	}
+	if err != nil {
+		return err
 	}
 	njobs := *jobs
 	if njobs <= 0 {
 		njobs = runtime.GOMAXPROCS(0)
 	}
 	st := cache.Stats()
-	fmt.Fprintf(os.Stderr, "sweep: %d cells simulated, %d recalled from cache, done in %s (host time, -jobs %d)\n",
+	fmt.Fprintf(stderr, "sweep: %d cells simulated, %d recalled from cache, done in %s (host time, -jobs %d)\n",
 		st.Misses, st.Hits, time.Since(t0).Round(time.Millisecond), njobs)
+	return nil
 }
 
 // progressLine renders finished cells as one live stderr line. The
-// runner serializes OnEvent calls, so the package-level counter is safe.
-var progressDone int
-
-func progressLine(ev upmgo.SweepEvent) {
+// runner serializes OnEvent calls, so the counter needs no locking.
+func (s *sweeper) progressLine(ev upmgo.SweepEvent) {
 	if !ev.Done {
 		return
 	}
-	progressDone++
+	s.done++
 	src := "sim"
 	if ev.CacheHit {
 		src = "hit"
 	}
 	line := fmt.Sprintf("[%d/%d] %s %-12s %8.4fs %s %s",
-		progressDone, ev.Total, ev.Spec.Bench, ev.Spec.Config.Label(),
+		s.done, ev.Total, ev.Spec.Bench, ev.Spec.Config.Label(),
 		ev.VirtualS, src, ev.Host.Round(time.Millisecond))
-	fmt.Fprintf(os.Stderr, "\r%-78s", line)
-	if progressDone == ev.Total {
+	fmt.Fprintf(s.errw, "\r%-78s", line)
+	if s.done == ev.Total {
 		// Batch complete: clear the line so the next figure starts clean.
-		progressDone = 0
-		fmt.Fprintf(os.Stderr, "\r%78s\r", "")
+		s.done = 0
+		fmt.Fprintf(s.errw, "\r%78s\r", "")
 	}
 }
 
-func runTable1() {
-	if err := upmgo.WriteTable1(os.Stdout); err != nil {
-		fatal("%v", err)
+func (s *sweeper) runTable1() error {
+	if err := upmgo.WriteTable1(s.out); err != nil {
+		return err
 	}
-	fmt.Println()
+	fmt.Fprintln(s.out)
+	return nil
 }
 
-func runFigure(ctx context.Context, r upmgo.SweepRunner, fig int, o upmgo.SweepOptions) {
+func (s *sweeper) runFigure(ctx context.Context, r upmgo.SweepRunner, fig int, o upmgo.SweepOptions) error {
 	switch fig {
 	case 1, 4:
 		var cells []upmgo.ExperimentCell
@@ -141,11 +193,11 @@ func runFigure(ctx context.Context, r upmgo.SweepRunner, fig int, o upmgo.SweepO
 			cells, err = r.Figure4(ctx, o)
 		}
 		if err != nil {
-			fatal("figure %d: %v", fig, err)
+			return fmt.Errorf("figure %d: %w", fig, err)
 		}
-		if csvMode {
-			upmgo.WriteCellsCSV(os.Stdout, cells)
-			return
+		if s.csv {
+			upmgo.WriteCellsCSV(s.out, cells)
+			return nil
 		}
 		title := fmt.Sprintf("Figure %d. NAS benchmarks, Class %s, execution time under the four page", fig, o.Class)
 		sub := "placement schemes"
@@ -154,8 +206,8 @@ func runFigure(ctx context.Context, r upmgo.SweepRunner, fig int, o upmgo.SweepO
 		} else {
 			sub += ", with kernel migration, and with UPMlib."
 		}
-		writeCells(title+"\n"+sub, cells)
-		writeSummary(cells)
+		s.writeCells(title+"\n"+sub, cells)
+		s.writeSummary(cells)
 	case 5, 6:
 		var cells []upmgo.Figure5Cell
 		var err error
@@ -165,38 +217,40 @@ func runFigure(ctx context.Context, r upmgo.SweepRunner, fig int, o upmgo.SweepO
 			cells, err = r.Figure6(ctx, o)
 		}
 		if err != nil {
-			fatal("figure %d: %v", fig, err)
+			return fmt.Errorf("figure %d: %w", fig, err)
 		}
 		title := "Figure 5. Record-replay data redistribution on BT and SP (ft placement)."
 		if fig == 6 {
 			title = "Figure 6. Record-replay on the synthetically scaled BT (each phase x4)."
 		}
-		writeFigure5(title, cells)
+		s.writeFigure5(title, cells)
 	default:
-		fatal("no figure %d in the paper's evaluation", fig)
+		return fmt.Errorf("no figure %d in the paper's evaluation", fig)
 	}
-	fmt.Println()
+	fmt.Fprintln(s.out)
+	return nil
 }
 
-func runTable2(ctx context.Context, r upmgo.SweepRunner, o upmgo.SweepOptions) {
+func (s *sweeper) runTable2(ctx context.Context, r upmgo.SweepRunner, o upmgo.SweepOptions) error {
 	rows, err := r.Table2(ctx, o)
 	if err != nil {
-		fatal("table 2: %v", err)
+		return fmt.Errorf("table 2: %w", err)
 	}
-	fmt.Println("Table 2. With UPMlib: slowdown vs first-touch over the last 75% of the")
-	fmt.Println("iterations (left), and the fraction of page migrations performed by the")
-	fmt.Println("first invocation (right).")
-	fmt.Printf("%-6s | %8s %8s %8s | %8s %8s %8s\n", "Bench", "rr", "rand", "wc", "rr", "rand", "wc")
+	fmt.Fprintln(s.out, "Table 2. With UPMlib: slowdown vs first-touch over the last 75% of the")
+	fmt.Fprintln(s.out, "iterations (left), and the fraction of page migrations performed by the")
+	fmt.Fprintln(s.out, "first invocation (right).")
+	fmt.Fprintf(s.out, "%-6s | %8s %8s %8s | %8s %8s %8s\n", "Bench", "rr", "rand", "wc", "rr", "rand", "wc")
 	for _, r := range rows {
-		fmt.Printf("%-6s | %7.1f%% %7.1f%% %7.1f%% | %7.0f%% %7.0f%% %7.0f%%\n", r.Bench,
+		fmt.Fprintf(s.out, "%-6s | %7.1f%% %7.1f%% %7.1f%% | %7.0f%% %7.0f%% %7.0f%%\n", r.Bench,
 			100*r.SlowdownTail["rr"], 100*r.SlowdownTail["rand"], 100*r.SlowdownTail["wc"],
 			100*r.FirstIterFrac["rr"], 100*r.FirstIterFrac["rand"], 100*r.FirstIterFrac["wc"])
 	}
-	fmt.Println()
+	fmt.Fprintln(s.out)
+	return nil
 }
 
-func writeCells(title string, cells []upmgo.ExperimentCell) {
-	fmt.Println(title)
+func (s *sweeper) writeCells(title string, cells []upmgo.ExperimentCell) {
+	fmt.Fprintln(s.out, title)
 	byBench := map[string][]upmgo.ExperimentCell{}
 	var order []string
 	for _, c := range cells {
@@ -209,19 +263,19 @@ func writeCells(title string, cells []upmgo.ExperimentCell) {
 		group := byBench[b]
 		var max float64
 		for _, c := range group {
-			if s := c.Seconds(); s > max {
-				max = s
+			if sec := c.Seconds(); sec > max {
+				max = sec
 			}
 		}
-		fmt.Printf("\n%s (virtual seconds, %d iterations)\n", b, len(group[0].Result.IterPS))
+		fmt.Fprintf(s.out, "\n%s (virtual seconds, %d iterations)\n", b, len(group[0].Result.IterPS))
 		for _, c := range group {
 			bar := strings.Repeat("#", int(40*c.Seconds()/max+0.5))
-			fmt.Printf("  %-14s %9.4f  %s\n", c.Label, c.Seconds(), bar)
+			fmt.Fprintf(s.out, "  %-14s %9.4f  %s\n", c.Label, c.Seconds(), bar)
 		}
 	}
 }
 
-func writeSummary(cells []upmgo.ExperimentCell) {
+func (s *sweeper) writeSummary(cells []upmgo.ExperimentCell) {
 	type key struct{ bench, label string }
 	times := map[key]float64{}
 	labels := map[string]bool{}
@@ -238,7 +292,7 @@ func writeSummary(cells []upmgo.ExperimentCell) {
 		}
 	}
 	sort.Strings(names)
-	fmt.Println("\nMean slowdown vs the ft bar with the same engine:")
+	fmt.Fprintln(s.out, "\nMean slowdown vs the ft bar with the same engine:")
 	for _, label := range names {
 		suffix := label[strings.Index(label, "-"):]
 		var sum float64
@@ -252,13 +306,13 @@ func writeSummary(cells []upmgo.ExperimentCell) {
 			}
 		}
 		if n > 0 {
-			fmt.Printf("  %-14s %+6.1f%%\n", label, 100*sum/float64(n))
+			fmt.Fprintf(s.out, "  %-14s %+6.1f%%\n", label, 100*sum/float64(n))
 		}
 	}
 }
 
-func writeFigure5(title string, cells []upmgo.Figure5Cell) {
-	fmt.Println(title)
+func (s *sweeper) writeFigure5(title string, cells []upmgo.Figure5Cell) {
+	fmt.Fprintln(s.out, title)
 	var max float64
 	for _, c := range cells {
 		if c.Seconds > max {
@@ -268,15 +322,7 @@ func writeFigure5(title string, cells []upmgo.Figure5Cell) {
 	for _, c := range cells {
 		bar := strings.Repeat("#", int(40*(c.Seconds-c.OverheadS)/max+0.5))
 		over := strings.Repeat("/", int(40*c.OverheadS/max+0.5))
-		fmt.Printf("  %-3s %-12s %9.4fs (z phase %8.4fs, migration overhead %7.4fs, moves %5d) %s%s\n",
+		fmt.Fprintf(s.out, "  %-3s %-12s %9.4fs (z phase %8.4fs, migration overhead %7.4fs, moves %5d) %s%s\n",
 			c.Bench, c.Label, c.Seconds, c.PhaseS, c.OverheadS, c.Migrations, bar, over)
 	}
-}
-
-// csvMode switches figure output to CSV.
-var csvMode bool
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunNothingSelected(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run(nil, &out, &errw)
+	if !errors.Is(err, errUsage) {
+		t.Fatalf("got %v, want errUsage", err)
+	}
+	if !strings.Contains(errw.String(), "Usage of sweep") {
+		t.Error("usage text not printed to stderr")
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-nope"},
+		{"-fig", "1", "-class", "Q"},
+		{"-fig", "3"},
+		{"-fig", "1", "stray"},
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if err := run(args, &out, &errw); err == nil {
+			t.Errorf("run(%v) succeeded, want an error", args)
+		}
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-table", "1", "-quiet"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table 1.") {
+		t.Errorf("stdout lacks the table header:\n%s", out.String())
+	}
+	if !strings.Contains(errw.String(), "cells simulated") {
+		t.Error("stderr lacks the closing cache-stats line")
+	}
+}
+
+// TestRunFigure5Traced is the CLI-level acceptance check for -trace:
+// `sweep -fig 5 -trace dir` must render the figure and drop one
+// Chrome-loadable JSON plus one text summary per cell, with exact
+// picosecond timestamps in args.ps and the region spans contained in the
+// iteration spans.
+func TestRunFigure5Traced(t *testing.T) {
+	dir := t.TempDir()
+	var out, errw bytes.Buffer
+	args := []string{"-fig", "5", "-class", "S", "-benches", "BT", "-quiet", "-trace", dir}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 5.") {
+		t.Errorf("stdout lacks the figure:\n%s", out.String())
+	}
+	traces, err := filepath.Glob(filepath.Join(dir, "*.trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 5 on one benchmark has four bars: ft, ft-IRIXmig,
+	// ft-upmlib, ft-recrep.
+	if len(traces) != 4 {
+		t.Fatalf("got %d trace files, want 4: %v", len(traces), traces)
+	}
+	for _, path := range traces {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tr struct {
+			TraceEvents []struct {
+				Name string         `json:"name"`
+				Ph   string         `json:"ph"`
+				Args map[string]any `json:"args"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(blob, &tr); err != nil {
+			t.Fatalf("%s is not Chrome-loadable JSON: %v", filepath.Base(path), err)
+		}
+		var iterPS, regionPS, open, regionOpen int64
+		iters := 0
+		insideIter := false
+		for _, ev := range tr.TraceEvents {
+			if ev.Ph != "B" && ev.Ph != "E" {
+				continue
+			}
+			ps, ok := ev.Args["ps"].(float64)
+			if !ok {
+				t.Fatalf("%s: %s record for %q lacks args.ps", filepath.Base(path), ev.Ph, ev.Name)
+			}
+			switch {
+			case ev.Name == "iteration" && ev.Ph == "B":
+				open, insideIter = int64(ps), true
+			case ev.Name == "iteration" && ev.Ph == "E":
+				iterPS += int64(ps) - open
+				iters++
+				insideIter = false
+			case ev.Name != "marked_phase" && ev.Ph == "B":
+				regionOpen = int64(ps)
+			case ev.Name != "marked_phase" && ev.Ph == "E":
+				if insideIter { // skip cold-start regions outside the loop
+					regionPS += int64(ps) - regionOpen
+				}
+			}
+		}
+		if iters == 0 || iterPS <= 0 {
+			t.Errorf("%s: no timed iterations in the trace", filepath.Base(path))
+		}
+		if regionPS > iterPS {
+			t.Errorf("%s: region spans (%d ps) exceed the iteration spans (%d ps)",
+				filepath.Base(path), regionPS, iterPS)
+		}
+		summary := strings.TrimSuffix(path, ".trace.json") + ".summary.txt"
+		txt, err := os.ReadFile(summary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(txt), "phase breakdown") {
+			t.Errorf("%s lacks the phase breakdown", filepath.Base(summary))
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Command traceview runs one NAS benchmark with the virtual-time tracer
+// attached and prints the trace summary: the per-phase virtual-time
+// breakdown of the timed loop (the paper's Figure 5 decomposition), the
+// migration-engine activity per iteration, and the machine event counts.
+// Tracing never charges virtual time, so the numbers are identical to an
+// untraced run of the same configuration.
+//
+// Examples:
+//
+//	traceview -bench BT                            # ft baseline summary
+//	traceview -bench FT -placement wc -upm distribute
+//	traceview -bench SP -upm recrep -chrome sp.json # + Chrome trace dump
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"upmgo"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintf(os.Stderr, "traceview: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is main without the process exit, testable against any writers.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("traceview", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "BT", "benchmark: BT, SP, CG, MG, FT (or LU, EP, IS)")
+	class := fs.String("class", "S", "problem class: S, W or A")
+	placement := fs.String("placement", "ft", "initial page placement: ft, rr, rand or wc")
+	upmMode := fs.String("upm", "off", "UPMlib protocol: off, distribute or recrep")
+	kmig := fs.Bool("kmig", false, "enable the IRIX-style kernel migration engine")
+	threads := fs.Int("threads", 0, "team size (0 = all simulated CPUs)")
+	iters := fs.Int("iters", 0, "override iteration count (0 = class default)")
+	seed := fs.Uint64("seed", 42, "workload seed")
+	chrome := fs.String("chrome", "", "also write the Chrome trace_event JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+
+	cfg := upmgo.NASConfig{Threads: *threads, Iterations: *iters, Seed: *seed}
+	switch strings.ToUpper(*class) {
+	case "S":
+		cfg.Class = upmgo.ClassS
+	case "W":
+		cfg.Class = upmgo.ClassW
+	case "A":
+		cfg.Class = upmgo.ClassA
+	default:
+		return fmt.Errorf("unknown class %q", *class)
+	}
+	switch strings.ToLower(*placement) {
+	case "ft":
+		cfg.Placement = upmgo.FirstTouch
+	case "rr":
+		cfg.Placement = upmgo.RoundRobin
+	case "rand":
+		cfg.Placement = upmgo.Random
+	case "wc":
+		cfg.Placement = upmgo.WorstCase
+	default:
+		return fmt.Errorf("unknown placement %q (want ft, rr, rand or wc)", *placement)
+	}
+	switch strings.ToLower(*upmMode) {
+	case "off":
+		cfg.UPM = upmgo.UPMOff
+	case "distribute":
+		cfg.UPM = upmgo.UPMDistribute
+	case "recrep":
+		cfg.UPM = upmgo.UPMRecRep
+	default:
+		return fmt.Errorf("unknown upm mode %q (want off, distribute or recrep)", *upmMode)
+	}
+	cfg.KernelMig = *kmig
+
+	rec := upmgo.NewTraceRecorder()
+	cfg.Tracer = rec
+	res, err := upmgo.RunNAS(strings.ToUpper(*bench), cfg)
+	if err != nil {
+		return err
+	}
+	events := rec.Events()
+
+	fmt.Fprintf(stdout, "%s\n", res)
+	upmgo.WriteTraceSummary(stdout, upmgo.SummarizeTrace(events))
+
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			return err
+		}
+		if err := upmgo.WriteChromeTrace(f, events); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "traceview: wrote %s (%d events)\n", *chrome, len(events))
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-nope"},
+		{"-class", "Q"},
+		{"-placement", "best"},
+		{"-upm", "sometimes"},
+		{"-bench", "UA"},
+		{"stray"},
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if err := run(args, &out, &errw); err == nil {
+			t.Errorf("run(%v) succeeded, want an error", args)
+		}
+	}
+}
+
+func TestRunSummary(t *testing.T) {
+	var out, errw bytes.Buffer
+	args := []string{"-bench", "FT", "-class", "S", "-placement", "wc", "-upm", "distribute"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"FT.S",             // the result line
+		"phase breakdown",  // the Figure 5 decomposition
+		"self-deactivated", // UPMlib's Figure 2 protocol fired
+		"per iteration:",   // the per-iteration table
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("summary lacks %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunChromeDump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bt.trace.json")
+	var out, errw bytes.Buffer
+	args := []string{"-bench", "BT", "-class", "S", "-upm", "recrep", "-chrome", path}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(blob, &tr); err != nil {
+		t.Fatalf("dump is not Chrome-loadable JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range tr.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"iteration", "z_solve", "marked_phase", "upm_replay", "upm_undo"} {
+		if !names[want] {
+			t.Errorf("Chrome trace lacks %q records", want)
+		}
+	}
+	if !strings.Contains(errw.String(), "wrote") {
+		t.Error("stderr lacks the wrote-file confirmation")
+	}
+}

@@ -1,6 +1,9 @@
 package exp
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Cache memoizes completed cells across sweeps, keyed by CellSpec.Key.
 // The paper's evaluation overlaps heavily: Figure 1's eight bars per
@@ -51,37 +54,60 @@ func (c *Cache) Len() int {
 	return len(c.cells)
 }
 
-// cell returns the cached cell for key, running fn at most once per key:
-// concurrent callers with the same key wait for the first. Errors are
-// reported to every waiter but not cached, so a failed cell can be
-// retried. The bool reports whether the cell was served from the cache
-// (or an in-flight duplicate) rather than by this call's own simulation.
-func (c *Cache) cell(key string, fn func() (Cell, error)) (Cell, bool, error) {
-	c.mu.Lock()
-	if cell, ok := c.cells[key]; ok {
-		c.hits++
+// cell returns the cached cell for key, running fn at most once per key
+// at a time: concurrent callers with the same key wait for the first.
+// Errors are not cached, and a leader's failure is not inherited by its
+// waiters — the leader may have failed only because *its* caller was
+// cancelled, which says nothing about a waiter's prospects. A waiter that
+// survives a failed flight (its own ctx still live) retries, becoming the
+// new leader if nobody beat it to the slot. The bool reports whether the
+// cell was served from the cache (or a successful in-flight duplicate)
+// rather than by this call's own simulation.
+func (c *Cache) cell(ctx context.Context, key string, fn func() (Cell, error)) (Cell, bool, error) {
+	for {
+		c.mu.Lock()
+		if cell, ok := c.cells[key]; ok {
+			c.hits++
+			c.mu.Unlock()
+			return cell, true, nil
+		}
+		if f, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return Cell{}, false, ctx.Err()
+			}
+			if f.err == nil {
+				c.mu.Lock()
+				c.hits++
+				c.mu.Unlock()
+				return f.cell, true, nil
+			}
+			if err := ctx.Err(); err != nil {
+				return Cell{}, false, err
+			}
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			// Don't start a simulation nobody will wait for.
+			c.mu.Unlock()
+			return Cell{}, false, err
+		}
+		f := &inflightCell{done: make(chan struct{})}
+		c.inflight[key] = f
+		c.misses++
 		c.mu.Unlock()
-		return cell, true, nil
-	}
-	if f, ok := c.inflight[key]; ok {
-		c.hits++
+
+		f.cell, f.err = fn()
+
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if f.err == nil {
+			c.cells[key] = f.cell
+		}
 		c.mu.Unlock()
-		<-f.done
-		return f.cell, true, f.err
+		close(f.done)
+		return f.cell, false, f.err
 	}
-	f := &inflightCell{done: make(chan struct{})}
-	c.inflight[key] = f
-	c.misses++
-	c.mu.Unlock()
-
-	f.cell, f.err = fn()
-
-	c.mu.Lock()
-	delete(c.inflight, key)
-	if f.err == nil {
-		c.cells[key] = f.cell
-	}
-	c.mu.Unlock()
-	close(f.done)
-	return f.cell, false, f.err
 }

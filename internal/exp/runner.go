@@ -2,11 +2,17 @@ package exp
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
 	"upmgo/internal/nas"
+	"upmgo/internal/trace"
 )
 
 // CellSpec names one figure/table cell: a benchmark and the exact
@@ -64,6 +70,13 @@ type Runner struct {
 	// OnEvent, when non-nil, receives per-cell progress events. Calls
 	// are serialized by the runner, so the callback needs no locking.
 	OnEvent func(Event)
+	// TraceDir, when non-empty, attaches a fresh trace recorder to every
+	// cell and writes, per cell, a Chrome trace_event JSON
+	// (<bench>-<label>-class<C>.trace.json, loadable in about:tracing or
+	// Perfetto) and a text summary (.summary.txt) into the directory.
+	// Traced configs are never memoizable (see nas.Config.Fingerprint),
+	// so every cell simulates fresh, bypassing the Cache.
+	TraceDir string
 }
 
 // Cells runs one batch of cell specs and returns their cells in spec
@@ -126,7 +139,7 @@ func (r Runner) Cells(ctx context.Context, specs []CellSpec) ([]Cell, error) {
 				spec := specs[i]
 				emit(Event{Spec: spec, Index: i, Total: len(specs)})
 				start := time.Now()
-				c, hit, err := r.runCell(spec)
+				c, hit, err := r.runCell(cctx, spec)
 				cells[i], errs[i] = c, err
 				emit(Event{Spec: spec, Index: i, Total: len(specs), Done: true,
 					CacheHit: hit, VirtualS: c.Seconds(), Host: time.Since(start), Err: err})
@@ -141,6 +154,15 @@ func (r Runner) Cells(ctx context.Context, specs []CellSpec) ([]Cell, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// The internal abort cancels cctx, so cells that were merely waiting
+	// on the cache report context.Canceled; the failure that caused the
+	// abort is the error worth reporting. Prefer it in presentation
+	// order, falling back to a bare cancellation if that is all there is.
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -150,14 +172,52 @@ func (r Runner) Cells(ctx context.Context, specs []CellSpec) ([]Cell, error) {
 }
 
 // runCell executes or recalls one cell.
-func (r Runner) runCell(spec CellSpec) (Cell, bool, error) {
+func (r Runner) runCell(ctx context.Context, spec CellSpec) (Cell, bool, error) {
+	if r.TraceDir != "" {
+		spec.Config.Tracer = trace.NewRecorder()
+	}
 	if r.Cache != nil {
 		if key, ok := spec.Key(); ok {
-			return r.Cache.cell(key, func() (Cell, error) { return run(spec.Bench, spec.Config) })
+			return r.Cache.cell(ctx, key, func() (Cell, error) { return run(spec.Bench, spec.Config) })
 		}
 	}
 	c, err := run(spec.Bench, spec.Config)
+	if err == nil && r.TraceDir != "" {
+		err = r.writeTrace(spec, spec.Config.Tracer.(*trace.Recorder))
+	}
 	return c, false, err
+}
+
+// writeTrace dumps one traced cell's Chrome trace and text summary.
+func (r Runner) writeTrace(spec CellSpec, rec *trace.Recorder) error {
+	if err := os.MkdirAll(r.TraceDir, 0o755); err != nil {
+		return err
+	}
+	base := fmt.Sprintf("%s-%s-class%s", strings.ToLower(spec.Bench),
+		spec.Config.Label(), spec.Config.Class)
+	if spec.Config.ComputeScale > 1 {
+		base += fmt.Sprintf("-x%d", spec.Config.ComputeScale)
+	}
+	events := rec.Events()
+
+	tf, err := os.Create(filepath.Join(r.TraceDir, base+".trace.json"))
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChromeTrace(tf, events); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+
+	sf, err := os.Create(filepath.Join(r.TraceDir, base+".summary.txt"))
+	if err != nil {
+		return err
+	}
+	trace.WriteSummary(sf, trace.Summarize(events))
+	return sf.Close()
 }
 
 // Figure1 runs the paper's Figure 1 sweep (see Figure1Specs) on the pool.

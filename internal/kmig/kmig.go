@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"upmgo/internal/machine"
+	"upmgo/internal/trace"
 )
 
 // Config tunes the kernel engine.
@@ -143,6 +144,8 @@ func (e *Engine) hook(now int64) int64 {
 	perPage := e.m.MigrationCost()
 	npages := e.m.AllocatedPages()
 	decay := e.cfg.DecayEvery > 0 && e.scans%int64(e.cfg.DecayEvery) == 0
+	trc := e.m.Tracer()
+	var moves []trace.PageMove
 	for vpn := uint64(0); vpn < npages; vpn++ {
 		home := pt.Home(vpn)
 		if home < 0 {
@@ -171,8 +174,23 @@ func (e *Engine) hook(now int64) int64 {
 			e.migrations++
 			cost += perPage
 			pt.ResetCounters(vpn)
+			if trc != nil {
+				moves = append(moves, trace.PageMove{VPN: vpn, From: res.From, To: res.Dest})
+			}
 		}
 	}
 	e.costPS += cost
+	if trc != nil {
+		trc.Emit(trace.Event{Time: now, CPU: trace.KernelCPU, Kind: trace.EvKmigScan,
+			Arg0: int64(moved), Arg1: cost})
+		if moved > 0 {
+			trc.Emit(trace.Event{Time: now, CPU: trace.KernelCPU, Kind: trace.EvKmigMigrate,
+				Arg0: int64(moved), Pages: moves})
+			// The interrupt-driven engine pays one shootdown round per page
+			// (MigrationCost), unlike UPMlib's batched single round.
+			trc.Emit(trace.Event{Time: now, CPU: trace.KernelCPU, Kind: trace.EvShootdown,
+				Name: "kmig", Arg0: int64(moved)})
+		}
+	}
 	return cost
 }

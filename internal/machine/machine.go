@@ -23,6 +23,7 @@ import (
 
 	"upmgo/internal/memsys"
 	"upmgo/internal/topology"
+	"upmgo/internal/trace"
 	"upmgo/internal/vm"
 )
 
@@ -115,8 +116,20 @@ type Machine struct {
 
 	settleAcc []int64 // per-node tally scratch reused across barriers
 
-	hooks []BarrierHook
+	hooks  []BarrierHook
+	tracer trace.Tracer
 }
+
+// SetTracer attaches an event tracer to the machine; nil detaches it.
+// The machine emits page-fault and replica-collapse shootdown events;
+// the omp runtime and the migration engines read the tracer through
+// Tracer to emit theirs. Tracing is observation only — it never advances
+// a clock — so traced and untraced runs are bit-identical (proven by
+// internal/nas's tracing equivalence test).
+func (m *Machine) SetTracer(t trace.Tracer) { m.tracer = t }
+
+// Tracer returns the attached tracer, or nil.
+func (m *Machine) Tracer() trace.Tracer { return m.tracer }
 
 // New builds a machine. Zero fields of cfg that have a default are filled
 // in from DefaultConfig.
@@ -483,6 +496,10 @@ func (c *CPU) touchRun(addr uint64, n int, stride uint64, write bool) {
 			// when every store in the run hits a cache.
 			if dropped := m.PT.MarkWritten(vpn); dropped > 0 {
 				c.clock += lat.MigratePage + m.ShootdownCost()
+				if m.tracer != nil {
+					m.tracer.Emit(trace.Event{Time: c.clock, CPU: c.ID,
+						Kind: trace.EvShootdown, Name: "collapse", Arg0: 1, Arg1: int64(vpn)})
+				}
 			}
 		}
 		// Walk the page's coherence units, counting L2 misses; the memory
@@ -555,6 +572,10 @@ func (c *CPU) touchRun(addr uint64, n int, stride uint64, write bool) {
 			if faulted {
 				c.stat.Faults++
 				c.clock += lat.PageFault
+				if m.tracer != nil {
+					m.tracer.Emit(trace.Event{Time: c.clock, CPU: c.ID,
+						Kind: trace.EvPageFault, Arg0: int64(vpn), Arg1: int64(home)})
+				}
 			}
 			if !write && m.PT.HasReplicas(vpn) {
 				home = m.PT.NearestCopy(vpn, c.NodeID)
@@ -639,6 +660,10 @@ func (c *CPU) touchUnit(addr, last uint64, n int, stride uint64, write bool) {
 	if faulted {
 		c.stat.Faults++
 		c.clock += lat.PageFault
+		if m.tracer != nil {
+			m.tracer.Emit(trace.Event{Time: c.clock, CPU: c.ID,
+				Kind: trace.EvPageFault, Arg0: int64(vpn), Arg1: int64(home)})
+		}
 	}
 	if !write && m.PT.HasReplicas(vpn) {
 		home = m.PT.NearestCopy(vpn, c.NodeID)
@@ -672,6 +697,10 @@ func (c *CPU) touch(addr uint64, write bool) {
 		// hits in a cache.
 		if dropped := c.m.PT.MarkWritten(addr >> c.m.pageShift); dropped > 0 {
 			c.clock += lat.MigratePage + c.m.ShootdownCost()
+			if c.m.tracer != nil {
+				c.m.tracer.Emit(trace.Event{Time: c.clock, CPU: c.ID,
+					Kind: trace.EvShootdown, Name: "collapse", Arg0: 1, Arg1: int64(addr >> c.m.pageShift)})
+			}
 		}
 	}
 	ver, newVer := c.coherence(addr>>c.m.cohShift, write)
@@ -690,6 +719,10 @@ func (c *CPU) touch(addr uint64, write bool) {
 	if faulted {
 		c.stat.Faults++
 		c.clock += lat.PageFault
+		if c.m.tracer != nil {
+			c.m.tracer.Emit(trace.Event{Time: c.clock, CPU: c.ID,
+				Kind: trace.EvPageFault, Arg0: int64(vpn), Arg1: int64(home)})
+		}
 	}
 	if !write && c.m.PT.HasReplicas(vpn) {
 		// Reads are served by the closest copy (replication extension).

@@ -166,7 +166,7 @@ func (b *BT) Reinit() {
 func (b *BT) InitTouch(t *omp.Team) {
 	n := b.n
 	f := b.forcing.Data()
-	t.Parallel(func(tr *omp.Thread) {
+	t.ParallelNamed("init", func(tr *omp.Thread) {
 		tr.For(1, n-1, omp.Static(), func(c *machine.CPU, from, to int) {
 			lo, hi := from, to
 			if lo == 1 {
@@ -221,7 +221,7 @@ func (b *BT) computeRHS(t *omp.Team) {
 	n := b.n
 	h2 := float64(n-1) * float64(n-1)
 	L := (n - 2) * ncomp
-	t.Parallel(func(tr *omp.Thread) {
+	t.ParallelNamed("compute_rhs", func(tr *omp.Thread) {
 		buf := b.threadScratch(tr.ID, L)
 		tr.For(1, n-1, omp.Static(), func(c *machine.CPU, from, to int) {
 			for k := from; k < to; k++ {
@@ -354,7 +354,7 @@ func (b *BT) solveBlock(c *machine.CPU, lam *[ncomp]float64, steps, width int, c
 func (b *BT) xSolve(t *omp.Team) {
 	n := b.n
 	lam := b.lambdas()
-	t.Parallel(func(tr *omp.Thread) {
+	t.ParallelNamed("x_solve", func(tr *omp.Thread) {
 		s := b.threadScratch(tr.ID, 2*n*n*ncomp)
 		cp, dp := s[:n*n*ncomp], s[n*n*ncomp:]
 		tr.For(1, n-1, omp.Static(), func(c *machine.CPU, from, to int) {
@@ -372,7 +372,7 @@ func (b *BT) xSolve(t *omp.Team) {
 func (b *BT) ySolve(t *omp.Team) {
 	n := b.n
 	lam := b.lambdas()
-	t.Parallel(func(tr *omp.Thread) {
+	t.ParallelNamed("y_solve", func(tr *omp.Thread) {
 		s := b.threadScratch(tr.ID, 2*n*n*ncomp)
 		cp, dp := s[:n*n*ncomp], s[n*n*ncomp:]
 		tr.For(1, n-1, omp.Static(), func(c *machine.CPU, from, to int) {
@@ -389,7 +389,7 @@ func (b *BT) ySolve(t *omp.Team) {
 func (b *BT) zSolve(t *omp.Team) {
 	n := b.n
 	lam := b.lambdas()
-	t.Parallel(func(tr *omp.Thread) {
+	t.ParallelNamed("z_solve", func(tr *omp.Thread) {
 		s := b.threadScratch(tr.ID, 2*n*n*ncomp)
 		cp, dp := s[:n*n*ncomp], s[n*n*ncomp:]
 		tr.For(1, n-1, omp.Static(), func(c *machine.CPU, from, to int) {
@@ -405,7 +405,7 @@ func (b *BT) zSolve(t *omp.Team) {
 func (b *BT) add(t *omp.Team) {
 	n := b.n
 	L := (n - 2) * ncomp
-	t.Parallel(func(tr *omp.Thread) {
+	t.ParallelNamed("add", func(tr *omp.Thread) {
 		tr.For(1, n-1, omp.Static(), func(c *machine.CPU, from, to int) {
 			for k := from; k < to; k++ {
 				for j := 1; j < n-1; j++ {

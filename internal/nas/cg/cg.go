@@ -205,7 +205,7 @@ func (c *CG) InitTouch(t *omp.Team) {
 	rowH := c.rowH
 	valsH := c.valsH
 	colH := c.colH
-	t.Parallel(func(tr *omp.Thread) {
+	t.ParallelNamed("init", func(tr *omp.Thread) {
 		tr.For(0, n, omp.Static(), func(cpu *machine.CPU, from, to int) {
 			cnt := to - from
 			if cnt <= 0 {
@@ -237,7 +237,7 @@ func (c *CG) Step(t *omp.Team, h *nas.Hooks) {
 	// zeta and normalisation.
 	n := c.n
 	var xz float64
-	t.Parallel(func(tr *omp.Thread) {
+	t.ParallelNamed("zeta_norm", func(tr *omp.Thread) {
 		var sxz, szz float64
 		tr.For(0, n, omp.Static(), func(cpu *machine.CPU, from, to int) {
 			if to <= from {
@@ -277,7 +277,7 @@ func (c *CG) Step(t *omp.Team, h *nas.Hooks) {
 func (c *CG) conjGrad(t *omp.Team) {
 	n := c.n
 	var rho float64
-	t.Parallel(func(tr *omp.Thread) {
+	t.ParallelNamed("conj_grad", func(tr *omp.Thread) {
 		// z = 0, r = x, p = r.
 		var s float64
 		tr.For(0, n, omp.Static(), func(cpu *machine.CPU, from, to int) {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"upmgo/internal/machine"
+	"upmgo/internal/trace"
 	"upmgo/internal/upm"
 	"upmgo/internal/vm"
 )
@@ -56,5 +57,14 @@ func TestFingerprintRejectsTweakedConfigs(t *testing.T) {
 	cfg := Config{Class: ClassS, Tweak: func(mc *machine.Config) { mc.PageBytes = 4096 }}
 	if _, ok := cfg.Fingerprint(); ok {
 		t.Error("config with a Tweak function must not be memoizable")
+	}
+}
+
+func TestFingerprintRejectsTracedConfigs(t *testing.T) {
+	// A cache hit would serve the result without re-simulating, silently
+	// dropping the requested trace; traced cells must always simulate.
+	cfg := Config{Class: ClassS, Tracer: trace.NewRecorder()}
+	if _, ok := cfg.Fingerprint(); ok {
+		t.Error("config with a Tracer must not be memoizable")
 	}
 }

@@ -103,7 +103,7 @@ func (f *FT) Reinit() {
 
 // InitTouch writes both arrays parallel over z-planes.
 func (f *FT) InitTouch(t *omp.Team) {
-	t.Parallel(func(tr *omp.Thread) {
+	t.ParallelNamed("init", func(tr *omp.Thread) {
 		tr.For(0, f.nz, omp.Static(), func(c *machine.CPU, from, to int) {
 			for z := from; z < to; z++ {
 				for y := 0; y < f.ny; y++ {
@@ -205,7 +205,7 @@ func (f *FT) lineFFT(c *machine.CPU, src, dst *machine.Array, base, stride, n in
 
 // fftPassX transforms every x-line (contiguous), parallel over z.
 func (f *FT) fftPassX(t *omp.Team, src, dst *machine.Array, inverse bool) {
-	t.Parallel(func(tr *omp.Thread) {
+	t.ParallelNamed("fft_x", func(tr *omp.Thread) {
 		scratch := make([]complex128, f.nx)
 		tr.For(0, f.nz, omp.Static(), func(c *machine.CPU, from, to int) {
 			for z := from; z < to; z++ {
@@ -219,7 +219,7 @@ func (f *FT) fftPassX(t *omp.Team, src, dst *machine.Array, inverse bool) {
 
 // fftPassY transforms every y-line (stride nx), parallel over z.
 func (f *FT) fftPassY(t *omp.Team, a *machine.Array, inverse bool) {
-	t.Parallel(func(tr *omp.Thread) {
+	t.ParallelNamed("fft_y", func(tr *omp.Thread) {
 		scratch := make([]complex128, f.ny)
 		tr.For(0, f.nz, omp.Static(), func(c *machine.CPU, from, to int) {
 			for z := from; z < to; z++ {
@@ -235,7 +235,7 @@ func (f *FT) fftPassY(t *omp.Team, a *machine.Array, inverse bool) {
 // z-plane, so this pass parallelises over y and touches all threads'
 // pages — FT's all-to-all.
 func (f *FT) fftPassZ(t *omp.Team, a *machine.Array, inverse bool) {
-	t.Parallel(func(tr *omp.Thread) {
+	t.ParallelNamed("fft_z", func(tr *omp.Thread) {
 		scratch := make([]complex128, f.nz)
 		tr.For(0, f.ny, omp.Static(), func(c *machine.CPU, from, to int) {
 			for y := from; y < to; y++ {
@@ -250,7 +250,7 @@ func (f *FT) fftPassZ(t *omp.Team, a *machine.Array, inverse bool) {
 // evolve multiplies each mode by exp(i*alpha*|k|^2), a unit-modulus
 // rotation (energy preserving), parallel over z.
 func (f *FT) evolve(t *omp.Team) {
-	t.Parallel(func(tr *omp.Thread) {
+	t.ParallelNamed("evolve", func(tr *omp.Thread) {
 		tr.For(0, f.nz, omp.Static(), func(c *machine.CPU, from, to int) {
 			for z := from; z < to; z++ {
 				kz := freq(z, f.nz)
@@ -285,7 +285,7 @@ func freq(i, n int) int {
 // checksum reduces the field energy and appends it to the history.
 func (f *FT) checksum(t *omp.Team) {
 	var total float64
-	t.Parallel(func(tr *omp.Thread) {
+	t.ParallelNamed("checksum", func(tr *omp.Thread) {
 		var s float64
 		tr.For(0, f.nz, omp.Static(), func(c *machine.CPU, from, to int) {
 			for z := from; z < to; z++ {

@@ -127,7 +127,7 @@ func (g *MG) Reinit() {
 // one contiguous (j-)row at a time.
 func (g *MG) InitTouch(t *omp.Team) {
 	vd := g.v.Data()
-	t.Parallel(func(tr *omp.Thread) {
+	t.ParallelNamed("init", func(tr *omp.Thread) {
 		for li, l := range g.levels {
 			n := l.n
 			tr.For(0, n, omp.Static(), func(c *machine.CPU, from, to int) {
@@ -207,7 +207,7 @@ func (g *MG) residual(t *omp.Team, l int) {
 	n := lv.n
 	h2 := float64(n-1) * float64(n-1)
 	L := n - 2
-	t.Parallel(func(tr *omp.Thread) {
+	t.ParallelNamed("residual", func(tr *omp.Thread) {
 		buf := make([]float64, L)
 		tr.For(1, n-1, omp.Static(), func(c *machine.CPU, from, to int) {
 			for k := from; k < to; k++ {
@@ -238,7 +238,7 @@ func (g *MG) smooth(t *omp.Team, l int) {
 	h2 := float64(n-1) * float64(n-1)
 	omega := 2.0 / 3.0
 	L := n - 2
-	t.Parallel(func(tr *omp.Thread) {
+	t.ParallelNamed("smooth", func(tr *omp.Thread) {
 		buf := make([]float64, L)
 		tr.For(1, n-1, omp.Static(), func(c *machine.CPU, from, to int) {
 			for k := from; k < to; k++ {
@@ -280,7 +280,7 @@ func (g *MG) restrict(t *omp.Team, l int) {
 	nc := coarse.n
 	Lc := nc - 2
 	fr := fine.r.Data()
-	t.Parallel(func(tr *omp.Thread) {
+	t.ParallelNamed("restrict", func(tr *omp.Thread) {
 		buf := make([]float64, Lc)
 		tr.For(1, nc-1, omp.Static(), func(c *machine.CPU, from, to int) {
 			for k := from; k < to; k++ {
@@ -342,7 +342,7 @@ func (g *MG) prolongate(t *omp.Team, l int) {
 	nEven := (n - 3) / 2 // fine i = 2,4..n-3
 	nOdd := (n - 1) / 2  // fine i = 1,3..n-2
 	cu := coarse.u.Data()
-	t.Parallel(func(tr *omp.Thread) {
+	t.ParallelNamed("prolongate", func(tr *omp.Thread) {
 		buf := make([]float64, L)
 		tr.For(1, n-1, omp.Static(), func(c *machine.CPU, from, to int) {
 			for k := from; k < to; k++ {
@@ -421,7 +421,7 @@ func trilerp(cu []float64, coarse level, k, j, i int) float64 {
 func (g *MG) zero(t *omp.Team, l int) {
 	lv := g.levels[l]
 	n := lv.n
-	t.Parallel(func(tr *omp.Thread) {
+	t.ParallelNamed("zero", func(tr *omp.Thread) {
 		tr.For(0, n, omp.Static(), func(c *machine.CPU, from, to int) {
 			for k := from; k < to; k++ {
 				for j := 0; j < n; j++ {

@@ -11,6 +11,7 @@ import (
 	"upmgo/internal/kmig"
 	"upmgo/internal/machine"
 	"upmgo/internal/omp"
+	"upmgo/internal/trace"
 	"upmgo/internal/upm"
 	"upmgo/internal/vm"
 )
@@ -102,6 +103,9 @@ func (h *Hooks) PhaseEnter(c *machine.CPU) {
 		h.BeforePhase(c)
 	}
 	h.phaseStart = c.Now()
+	if trc := c.Machine().Tracer(); trc != nil {
+		trc.Emit(trace.Event{Time: h.phaseStart, CPU: c.ID, Kind: trace.EvPhaseEnter})
+	}
 }
 
 // PhaseExit must be called right after the marked phase's join.
@@ -110,6 +114,9 @@ func (h *Hooks) PhaseExit(c *machine.CPU) {
 		return
 	}
 	h.phasePS += c.Now() - h.phaseStart
+	if trc := c.Machine().Tracer(); trc != nil {
+		trc.Emit(trace.Event{Time: c.Now(), CPU: c.ID, Kind: trace.EvPhaseExit})
+	}
 	if h.AfterPhase != nil {
 		h.AfterPhase(c)
 	}
@@ -171,6 +178,11 @@ type Config struct {
 	// Tweak adjusts the machine configuration after class defaults
 	// (ablation benches use it).
 	Tweak func(mc *machine.Config)
+	// Tracer, when non-nil, receives virtual-time-stamped events from
+	// every simulation layer (regions, barriers, iterations, faults,
+	// engine actions). Tracing never charges virtual time, so a traced
+	// run's numbers are bit-identical to the same config untraced.
+	Tracer trace.Tracer
 	// SkipVerify skips the numerical check (benchmarks that time very
 	// few iterations on purpose may not converge).
 	SkipVerify bool
@@ -184,9 +196,11 @@ type Config struct {
 // default" and is kept distinct from an explicit equal count — that is
 // conservative (two cache entries) but never wrong. The second result is
 // false when the config cannot be canonically encoded (a Tweak function
-// is set) and therefore must not be memoized.
+// or a Tracer is set — a tracer's identity is a pointer, and serving a
+// traced run from a cache would silently drop its events) and therefore
+// must not be memoized.
 func (c Config) Fingerprint() (string, bool) {
-	if c.Tweak != nil {
+	if c.Tweak != nil || c.Tracer != nil {
 		return "", false
 	}
 	if c.ComputeScale < 1 {
@@ -259,6 +273,8 @@ func Run(build Builder, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	// Attach before the cold start so first-touch faults are in the trace.
+	m.SetTracer(cfg.Tracer)
 	scale := cfg.ComputeScale
 	if scale < 1 {
 		scale = 1
@@ -315,6 +331,10 @@ func Run(build Builder, cfg Config) (Result, error) {
 	reactivated := false
 	for step := 1; step <= niter; step++ {
 		iterStart := master.Now()
+		if cfg.Tracer != nil {
+			cfg.Tracer.Emit(trace.Event{Time: iterStart, CPU: master.ID,
+				Kind: trace.EvIterStart, Arg0: int64(step)})
+		}
 		hooks := stepHooks(u, cfg.UPM, step)
 		k.Step(team, hooks)
 		switch cfg.UPM {
@@ -332,6 +352,10 @@ func Run(build Builder, cfg Config) (Result, error) {
 			if step == 1 {
 				u.MigrateMemory(master)
 			}
+		}
+		if cfg.Tracer != nil {
+			cfg.Tracer.Emit(trace.Event{Time: master.Now(), CPU: master.ID,
+				Kind: trace.EvIterEnd, Arg0: int64(step), Arg1: master.Now() - iterStart})
 		}
 		res.IterPS = append(res.IterPS, master.Now()-iterStart)
 		if hooks != nil {

@@ -152,7 +152,7 @@ func (s *SP) InitTouch(t *omp.Team) {
 	n := s.n
 	f := s.forcing.Data()
 	rowLen := n * ncomp
-	t.Parallel(func(tr *omp.Thread) {
+	t.ParallelNamed("init", func(tr *omp.Thread) {
 		tr.For(1, n-1, omp.Static(), func(c *machine.CPU, from, to int) {
 			lo, hi := from, to
 			if lo == 1 {
@@ -213,7 +213,7 @@ func (s *SP) computeRHS(t *omp.Team) {
 		}
 		return u[s.idx(k, j, i, m)]
 	}
-	t.Parallel(func(tr *omp.Thread) {
+	t.ParallelNamed("compute_rhs", func(tr *omp.Thread) {
 		buf := make([]float64, L)
 		tr.For(1, n-1, omp.Static(), func(c *machine.CPU, from, to int) {
 			for k := from; k < to; k++ {
@@ -338,7 +338,7 @@ func (s *SP) solveDir(t *omp.Team, dir int) {
 		lam2[m] = s.dt * s.cm[m] * h2
 	}
 	lam4 := s.dt * s.eps
-	t.Parallel(func(tr *omp.Thread) {
+	t.ParallelNamed([...]string{"x_solve", "y_solve", "z_solve"}[dir], func(tr *omp.Thread) {
 		alpha := make([]float64, n*ncomp)
 		dd := make([]float64, n*ncomp)
 		ff := make([]float64, n*ncomp)
@@ -365,7 +365,7 @@ func (s *SP) solveDir(t *omp.Team, dir int) {
 func (s *SP) add(t *omp.Team) {
 	n := s.n
 	L := (n - 2) * ncomp
-	t.Parallel(func(tr *omp.Thread) {
+	t.ParallelNamed("add", func(tr *omp.Thread) {
 		tr.For(1, n-1, omp.Static(), func(c *machine.CPU, from, to int) {
 			for k := from; k < to; k++ {
 				for j := 1; j < n-1; j++ {

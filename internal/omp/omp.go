@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"upmgo/internal/machine"
+	"upmgo/internal/trace"
 )
 
 // Schedule selects how loop iterations map to threads.
@@ -159,11 +160,26 @@ type Thread struct {
 // construct). The master's clock plus the fork overhead seeds every
 // member's clock; join settles the final region and leaves the master
 // clock at the join time. Nested Parallel calls are not supported.
-func (t *Team) Parallel(body func(tr *Thread)) {
+func (t *Team) Parallel(body func(tr *Thread)) { t.parallel("", body) }
+
+// ParallelNamed is Parallel with a region label for the trace layer: the
+// fork and join events carry the name, so a trace summary can break the
+// run down by phase (compute_rhs, x_solve, ...) the way the paper's
+// Figure 5 does. With no tracer attached the name is inert.
+func (t *Team) ParallelNamed(name string, body func(tr *Thread)) { t.parallel(name, body) }
+
+func (t *Team) parallel(name string, body func(tr *Thread)) {
 	master := t.Master()
 	// Settle the serial section the master executed since the last join,
 	// so its access tallies do not leak into the parallel region.
 	master.SetClock(t.m.Settle([]*machine.CPU{master}, t.lastJoin))
+	// The fork event is stamped before the fork overhead and the join
+	// event after the join barrier settles, so named region spans and the
+	// serial gaps between them tile the timeline exactly (the trace
+	// summary's sum contract).
+	if trc := t.m.Tracer(); trc != nil {
+		trc.Emit(trace.Event{Time: master.Now(), CPU: master.ID, Kind: trace.EvRegionFork, Name: name})
+	}
 	start := master.Now() + t.m.Lat.Fork
 	cpus := t.cpus()
 	for _, c := range cpus {
@@ -191,6 +207,9 @@ func (t *Team) Parallel(body func(tr *Thread)) {
 		c.SetClock(end)
 	}
 	t.lastJoin = end
+	if trc := t.m.Tracer(); trc != nil {
+		trc.Emit(trace.Event{Time: end, CPU: master.ID, Kind: trace.EvRegionJoin, Name: name})
+	}
 }
 
 func (t *Team) cpus() []*machine.CPU {
@@ -369,6 +388,9 @@ func (b *clockBarrier) reset(start int64) {
 // lastFn (if any), settles clocks, and releases the others.
 func (b *clockBarrier) wait(tr *Thread, lastFn func()) {
 	t := tr.team
+	if trc := t.m.Tracer(); trc != nil {
+		trc.Emit(trace.Event{Time: tr.CPU.Now(), CPU: tr.CPU.ID, Kind: trace.EvBarrierArrive})
+	}
 	if t.serial {
 		// In serial mode all members of the "parallel" region run
 		// sequentially; barriers degenerate to settlement once per
@@ -408,6 +430,11 @@ func (b *clockBarrier) settle(t *Team) {
 		c.SetClock(end)
 	}
 	b.regionStart = end
+	// The release is a machine-level quiescent point (hooks have run), not
+	// one thread's action; it goes on the kernel lane.
+	if trc := t.m.Tracer(); trc != nil {
+		trc.Emit(trace.Event{Time: end, CPU: trace.KernelCPU, Kind: trace.EvBarrierRelease, Arg0: int64(t.n)})
+	}
 }
 
 func min(a, b int) int {

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one record of the Chrome trace_event JSON format
+// (chrome://tracing, Perfetto's legacy loader). Ts is in microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders events (as returned by Recorder.Events) in the
+// Chrome trace_event JSON format. Spans — iterations, parallel regions,
+// marked phases — become nested B/E pairs on the master CPU's thread
+// track; migrations, faults, shootdowns and barrier events become
+// instants. Every record carries the exact integer picosecond timestamp
+// in args.ps, since the microsecond ts field is a float and tooling that
+// checks the sum contract (phase spans + serial gaps = total) needs the
+// unrounded values.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	maxCPU := 0
+	for _, ev := range events {
+		if ev.CPU > maxCPU {
+			maxCPU = ev.CPU
+		}
+	}
+	kernelTid := maxCPU + 1
+
+	tid := func(cpu int) int {
+		if cpu == KernelCPU {
+			return kernelTid
+		}
+		return cpu
+	}
+	out := make([]chromeEvent, 0, len(events)+2)
+	meta := func(t int, name string) {
+		out = append(out, chromeEvent{Name: "thread_name", Ph: "M", Pid: 1, Tid: t,
+			Args: map[string]any{"name": name}})
+	}
+	meta(kernelTid, "kernel")
+	meta(0, "cpu0 (master)")
+
+	for _, ev := range events {
+		ce := chromeEvent{Ts: float64(ev.Time) / 1e6, Pid: 1, Tid: tid(ev.CPU),
+			Args: map[string]any{"ps": ev.Time}}
+		switch ev.Kind {
+		case EvIterStart:
+			ce.Ph, ce.Name = "B", "iteration"
+			ce.Args["step"] = ev.Arg0
+		case EvIterEnd:
+			ce.Ph, ce.Name = "E", "iteration"
+			ce.Args["step"], ce.Args["iter_ps"] = ev.Arg0, ev.Arg1
+		case EvRegionFork:
+			ce.Ph, ce.Name = "B", regionName(ev.Name)
+		case EvRegionJoin:
+			ce.Ph, ce.Name = "E", regionName(ev.Name)
+		case EvPhaseEnter:
+			ce.Ph, ce.Name = "B", "marked_phase"
+		case EvPhaseExit:
+			ce.Ph, ce.Name = "E", "marked_phase"
+		default:
+			ce.Ph, ce.Name, ce.S = "i", ev.Kind.String(), "t"
+			if ev.Name != "" {
+				ce.Args["who"] = ev.Name
+			}
+			if ev.Arg0 != 0 {
+				ce.Args["arg0"] = ev.Arg0
+			}
+			if ev.Arg1 != 0 {
+				ce.Args["arg1"] = ev.Arg1
+			}
+			if len(ev.Pages) > 0 {
+				ce.Args["pages"] = ev.Pages
+			}
+		}
+		out = append(out, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
+}
+
+func regionName(name string) string {
+	if name == "" {
+		return "parallel"
+	}
+	return name
+}

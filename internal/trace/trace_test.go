@@ -1,0 +1,261 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		EvRegionFork:    "region_fork",
+		EvUPMDeactivate: "upm_deactivate",
+		EvUPMUndo:       "upm_undo",
+		Kind(0):         "unknown",
+		Kind(200):       "unknown",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+// TestRecorderMerge checks the determinism contract: the merged stream is
+// sorted by (Time, CPU, Seq), and within one CPU lane program order
+// survives even when many events share a timestamp (as at a settled
+// barrier) and even when lanes emit concurrently.
+func TestRecorderMerge(t *testing.T) {
+	r := NewRecorder()
+	const perLane = 100
+	var wg sync.WaitGroup
+	for cpu := 0; cpu < 4; cpu++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			for i := 0; i < perLane; i++ {
+				// Repeated timestamps within a lane: i/10 gives runs of 10
+				// events at the same virtual time.
+				r.Emit(Event{Time: int64(i / 10), CPU: cpu, Kind: EvBarrierArrive, Arg0: int64(i)})
+			}
+		}(cpu)
+	}
+	wg.Wait()
+	r.Emit(Event{Time: 0, CPU: KernelCPU, Kind: EvKmigScan})
+
+	evs := r.Events()
+	if len(evs) != 4*perLane+1 {
+		t.Fatalf("got %d events, want %d", len(evs), 4*perLane+1)
+	}
+	if evs[0].CPU != KernelCPU {
+		t.Errorf("kernel lane event at time 0 should sort first, got CPU %d", evs[0].CPU)
+	}
+	for i := 1; i < len(evs); i++ {
+		a, b := evs[i-1], evs[i]
+		if a.Time > b.Time {
+			t.Fatalf("events out of time order at %d: %d after %d", i, b.Time, a.Time)
+		}
+		if a.Time == b.Time && a.CPU > b.CPU {
+			t.Fatalf("equal-time events out of CPU order at %d", i)
+		}
+	}
+	// Per-lane program order: Arg0 strictly increases within each lane.
+	last := map[int]int64{}
+	for _, ev := range evs {
+		if ev.CPU == KernelCPU {
+			continue
+		}
+		if prev, ok := last[ev.CPU]; ok && ev.Arg0 <= prev {
+			t.Fatalf("lane %d program order broken: %d after %d", ev.CPU, ev.Arg0, prev)
+		}
+		last[ev.CPU] = ev.Arg0
+	}
+
+	if r.Len() != 4*perLane+1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	r.Reset()
+	if r.Len() != 0 || len(r.Events()) != 0 {
+		t.Errorf("Reset did not clear the recorder")
+	}
+}
+
+// synthetic builds a plausible two-iteration stream: named regions with
+// serial gaps, a marked phase, engine activity, and cold-start noise
+// before the first iteration.
+func synthetic() []Event {
+	r := NewRecorder()
+	emit := func(t int64, cpu int, k Kind, name string, a0, a1 int64, pages []PageMove) {
+		r.Emit(Event{Time: t, CPU: cpu, Kind: k, Name: name, Arg0: a0, Arg1: a1, Pages: pages})
+	}
+	// Cold start: a fault and an unnamed region outside any iteration.
+	emit(0, 0, EvPageFault, "", 7, 1, nil)
+	emit(0, 0, EvRegionFork, "init", 0, 0, nil)
+	emit(50, 0, EvRegionJoin, "init", 0, 0, nil)
+
+	// Iteration 1: regions [100,200) and [230,300), serial 30+10+20 = wait:
+	// window is [100, 360]; see the assertions in TestSummarize.
+	emit(100, 0, EvIterStart, "", 1, 0, nil)
+	emit(110, 0, EvRegionFork, "compute_rhs", 0, 0, nil)
+	emit(120, 1, EvBarrierArrive, "", 0, 0, nil)
+	emit(125, KernelCPU, EvBarrierRelease, "", 2, 0, nil)
+	emit(200, 0, EvRegionJoin, "compute_rhs", 0, 0, nil)
+	emit(230, 0, EvPhaseEnter, "", 0, 0, nil)
+	emit(230, 0, EvRegionFork, "z_solve", 0, 0, nil)
+	emit(300, 0, EvRegionJoin, "z_solve", 0, 0, nil)
+	emit(300, 0, EvPhaseExit, "", 0, 0, nil)
+	emit(310, 0, EvUPMMigrate, "", 3, 1, []PageMove{{VPN: 1, From: 0, To: 1}, {VPN: 2, From: 0, To: 2}, {VPN: 3, From: 1, To: 3}})
+	emit(310, 0, EvShootdown, "upm", 1, 0, nil)
+	emit(360, 0, EvIterEnd, "", 1, 260, nil)
+
+	// Iteration 2: one region, UPM finds nothing and deactivates.
+	emit(360, 0, EvIterStart, "", 2, 0, nil)
+	emit(370, 0, EvRegionFork, "compute_rhs", 0, 0, nil)
+	emit(470, 0, EvRegionJoin, "compute_rhs", 0, 0, nil)
+	emit(480, KernelCPU, EvKmigScan, "", 2, 55, nil)
+	emit(490, 0, EvUPMMigrate, "", 0, 2, nil)
+	emit(490, 0, EvUPMDeactivate, "", 0, 0, nil)
+	emit(500, 0, EvIterEnd, "", 2, 140, nil)
+	return r.Events()
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(synthetic())
+	if s.Iterations != 2 {
+		t.Fatalf("Iterations = %d, want 2", s.Iterations)
+	}
+	if s.TotalPS != 400 { // 500 - 100
+		t.Errorf("TotalPS = %d, want 400", s.TotalPS)
+	}
+	wantPhases := []PhaseTotal{
+		{Name: "compute_rhs", Regions: 2, TimePS: 90 + 100},
+		{Name: "z_solve", Regions: 1, TimePS: 70},
+	}
+	if len(s.Phases) != len(wantPhases) {
+		t.Fatalf("Phases = %+v", s.Phases)
+	}
+	var regionPS int64
+	for i, want := range wantPhases {
+		if s.Phases[i] != want {
+			t.Errorf("Phases[%d] = %+v, want %+v", i, s.Phases[i], want)
+		}
+		regionPS += want.TimePS
+	}
+	if want := s.TotalPS - regionPS; s.SerialPS != want {
+		t.Errorf("SerialPS = %d, want %d", s.SerialPS, want)
+	}
+	if s.MarkedPhasePS != 70 {
+		t.Errorf("MarkedPhasePS = %d, want 70", s.MarkedPhasePS)
+	}
+	if s.UPMInvocations != 2 || s.UPMMoves != 3 || s.UPMDeactivateIter != 2 {
+		t.Errorf("UPM: %+v", s)
+	}
+	if s.KmigScans != 1 || s.KmigMoves != 2 {
+		t.Errorf("kmig: scans=%d moves=%d", s.KmigScans, s.KmigMoves)
+	}
+	if s.Shootdowns != 1 || s.Faults != 1 || s.Barriers != 1 {
+		t.Errorf("counters: %+v", s)
+	}
+	wantIters := []IterStat{
+		{Step: 1, TimePS: 260, UPMMoves: 3},
+		{Step: 2, TimePS: 140, KmigMoves: 2},
+	}
+	if len(s.PerIter) != 2 || s.PerIter[0] != wantIters[0] || s.PerIter[1] != wantIters[1] {
+		t.Errorf("PerIter = %+v, want %+v", s.PerIter, wantIters)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Events != 0 || s.TotalPS != 0 || s.Iterations != 0 || len(s.Phases) != 0 {
+		t.Errorf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, synthetic()); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if parsed.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", parsed.DisplayTimeUnit)
+	}
+	// Every B has a matching E per (tid, name), nesting included.
+	open := map[string][]float64{}
+	var regions, instants, metas int
+	for _, ce := range parsed.TraceEvents {
+		key := ce.Name + "\x00" + string(rune(ce.Tid))
+		switch ce.Ph {
+		case "B":
+			open[key] = append(open[key], ce.Ts)
+		case "E":
+			st := open[key]
+			if len(st) == 0 {
+				t.Fatalf("E without B for %q", ce.Name)
+			}
+			if begin := st[len(st)-1]; ce.Ts < begin {
+				t.Fatalf("span %q ends before it begins", ce.Name)
+			}
+			open[key] = st[:len(st)-1]
+			regions++
+		case "i":
+			instants++
+		case "M":
+			metas++
+		default:
+			t.Fatalf("unexpected phase %q", ce.Ph)
+		}
+		if ce.Ph != "M" {
+			if _, ok := ce.Args["ps"]; !ok {
+				t.Fatalf("event %q missing exact args.ps", ce.Name)
+			}
+		}
+	}
+	for key, st := range open {
+		if len(st) != 0 {
+			t.Errorf("unclosed span %q", strings.SplitN(key, "\x00", 2)[0])
+		}
+	}
+	// 2 iterations + 4 regions (init, compute_rhs x2, z_solve) + 1 marked
+	// phase = 7 closed spans.
+	if regions != 7 {
+		t.Errorf("closed spans = %d, want 7", regions)
+	}
+	if instants == 0 || metas == 0 {
+		t.Errorf("instants = %d, metas = %d; want both > 0", instants, metas)
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	var buf bytes.Buffer
+	WriteSummary(&buf, Summarize(synthetic()))
+	out := buf.String()
+	for _, want := range []string{
+		"2 timed iterations",
+		"compute_rhs",
+		"z_solve",
+		"(serial)",
+		"self-deactivated at iteration 2",
+		"kmig: 1 scans, 2 moves",
+		"per iteration:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary output missing %q:\n%s", want, out)
+		}
+	}
+}

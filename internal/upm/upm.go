@@ -30,6 +30,7 @@ import (
 	"sort"
 
 	"upmgo/internal/machine"
+	"upmgo/internal/trace"
 )
 
 // Options tunes the engine. Zero values take the paper's defaults.
@@ -140,6 +141,12 @@ func (u *UPM) MemRefCnt(lo, hi uint64) {
 		panic(fmt.Sprintf("upm: empty hot range [%d,%d)", lo, hi))
 	}
 	u.ranges = append(u.ranges, [2]uint64{lo, hi})
+	// Registration is setup, not timed work; stamp it at time zero on the
+	// kernel lane so it sorts to the head of the trace.
+	if trc := u.m.Tracer(); trc != nil {
+		trc.Emit(trace.Event{CPU: trace.KernelCPU, Kind: trace.EvUPMRegister,
+			Arg0: int64(lo), Arg1: int64(hi)})
+	}
 }
 
 // Active reports whether the iterative mechanism is still armed; it
@@ -231,6 +238,8 @@ func (u *UPM) MigrateMemory(c *machine.CPU) int {
 	}
 	u.stats.Invocations++
 	pt := u.m.PT
+	trc := u.m.Tracer()
+	var moves []trace.PageMove
 	moved := 0
 	var scanned int64
 	u.hotPages(func(vpn uint64) {
@@ -254,10 +263,17 @@ func (u *UPM) MigrateMemory(c *machine.CPU) int {
 			u.hist[vpn] = histEntry{invocation: u.stats.Invocations, leftHome: home,
 				bounces: u.hist[vpn].bounces}
 			u.charge(c, u.pageMoveCost())
+			if trc != nil {
+				moves = append(moves, trace.PageMove{VPN: vpn, From: res.From, To: res.Dest})
+			}
 		}
 	})
 	if moved > 0 {
 		u.charge(c, u.m.ShootdownCost())
+		if trc != nil {
+			trc.Emit(trace.Event{Time: c.Now(), CPU: c.ID, Kind: trace.EvShootdown,
+				Name: "upm", Arg0: 1})
+		}
 	}
 	// Fresh trace for the next iteration's decision.
 	u.hotPages(pt.ResetCounters)
@@ -267,8 +283,16 @@ func (u *UPM) MigrateMemory(c *machine.CPU) int {
 	if u.stats.Invocations == 1 {
 		u.stats.FirstInvocation += int64(moved)
 	}
+	if trc != nil {
+		trc.Emit(trace.Event{Time: c.Now(), CPU: c.ID, Kind: trace.EvUPMMigrate,
+			Arg0: int64(moved), Arg1: int64(u.stats.Invocations), Pages: moves})
+	}
 	if moved == 0 {
 		u.active = false // self-deactivation
+		if trc != nil {
+			trc.Emit(trace.Event{Time: c.Now(), CPU: c.ID, Kind: trace.EvUPMDeactivate,
+				Arg0: int64(u.stats.Invocations)})
+		}
 	}
 	return moved
 }
@@ -298,6 +322,10 @@ func (u *UPM) Record(c *machine.CPU) {
 	})
 	u.snaps = append(u.snaps, snap)
 	u.charge(c, scanned*u.opt.ScanCostPerPage)
+	if trc := u.m.Tracer(); trc != nil {
+		trc.Emit(trace.Event{Time: c.Now(), CPU: c.ID, Kind: trace.EvUPMRecord,
+			Arg0: int64(len(u.snaps) - 1)})
+	}
 }
 
 // CompareCounters turns the recorded snapshots into per-phase-transition
@@ -375,6 +403,14 @@ func (u *UPM) CompareCounters(c *machine.CPU) {
 	}
 	u.snaps = nil
 	u.cursor = 0
+	if trc := u.m.Tracer(); trc != nil {
+		var planned int64
+		for _, p := range u.plans {
+			planned += int64(len(p))
+		}
+		trc.Emit(trace.Event{Time: c.Now(), CPU: c.ID, Kind: trace.EvUPMCompare,
+			Arg0: int64(len(u.plans)), Arg1: planned})
+	}
 }
 
 // Plans returns the number of phase-transition plans available.
@@ -388,39 +424,65 @@ func (u *UPM) Replay(c *machine.CPU) int {
 		return 0
 	}
 	plan := u.plans[u.cursor]
+	planIdx := u.cursor
 	u.cursor = (u.cursor + 1) % len(u.plans)
+	trc := u.m.Tracer()
+	var moves []trace.PageMove
 	moved := 0
 	for _, op := range plan {
-		home := u.m.PT.Home(op.vpn)
 		if res := u.m.PT.Migrate(op.vpn, op.dst); res.Moved {
 			moved++
-			u.undo = append(u.undo, migOp{vpn: op.vpn, dst: home})
+			u.undo = append(u.undo, migOp{vpn: op.vpn, dst: res.From})
 			u.charge(c, u.pageMoveCost())
+			if trc != nil {
+				moves = append(moves, trace.PageMove{VPN: op.vpn, From: res.From, To: res.Dest})
+			}
 		}
 	}
 	if moved > 0 {
 		u.charge(c, u.m.ShootdownCost())
+		if trc != nil {
+			trc.Emit(trace.Event{Time: c.Now(), CPU: c.ID, Kind: trace.EvShootdown,
+				Name: "replay", Arg0: 1})
+		}
 	}
 	u.stats.ReplayMigrations += int64(moved)
+	if trc != nil {
+		trc.Emit(trace.Event{Time: c.Now(), CPU: c.ID, Kind: trace.EvUPMReplay,
+			Arg0: int64(moved), Arg1: int64(planIdx), Pages: moves})
+	}
 	return moved
 }
 
 // Undo reverses every migration Replay performed since the last Undo
 // (upmlib_undo), restoring the iteration's initial data distribution.
 func (u *UPM) Undo(c *machine.CPU) int {
+	trc := u.m.Tracer()
+	var moves []trace.PageMove
 	moved := 0
 	for i := len(u.undo) - 1; i >= 0; i-- {
 		op := u.undo[i]
 		if res := u.m.PT.Migrate(op.vpn, op.dst); res.Moved {
 			moved++
 			u.charge(c, u.pageMoveCost())
+			if trc != nil {
+				moves = append(moves, trace.PageMove{VPN: op.vpn, From: res.From, To: res.Dest})
+			}
 		}
 	}
 	if moved > 0 {
 		u.charge(c, u.m.ShootdownCost())
+		if trc != nil {
+			trc.Emit(trace.Event{Time: c.Now(), CPU: c.ID, Kind: trace.EvShootdown,
+				Name: "undo", Arg0: 1})
+		}
 	}
 	u.undo = u.undo[:0]
 	u.stats.UndoMigrations += int64(moved)
+	if trc != nil {
+		trc.Emit(trace.Event{Time: c.Now(), CPU: c.ID, Kind: trace.EvUPMUndo,
+			Arg0: int64(moved), Pages: moves})
+	}
 	return moved
 }
 

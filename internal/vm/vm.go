@@ -302,6 +302,7 @@ func (pt *PageTable) ResetAllCounters() {
 // MigrateResult describes the outcome of a migration request.
 type MigrateResult struct {
 	Moved bool // page changed node
+	From  int  // node the page was on when the request ran
 	Dest  int  // node the page ended on (forwarding may divert it)
 }
 
@@ -313,23 +314,23 @@ type MigrateResult struct {
 func (pt *PageTable) Migrate(vpn uint64, to int) MigrateResult {
 	cur := int(atomic.LoadInt32(&pt.home[vpn]))
 	if cur < 0 || to == cur {
-		return MigrateResult{Moved: false, Dest: cur}
+		return MigrateResult{Moved: false, From: cur, Dest: cur}
 	}
 	if atomic.LoadUint32(&pt.frozen[vpn]) != 0 {
-		return MigrateResult{Moved: false, Dest: cur}
+		return MigrateResult{Moved: false, From: cur, Dest: cur}
 	}
 	// The move frees the source node first; best-effort forwarding may
 	// then land the page back on the source, which is a no-op.
 	atomic.AddInt64(&pt.used[cur], -1)
 	dest := pt.admit(to)
 	if dest == cur {
-		return MigrateResult{Moved: false, Dest: cur}
+		return MigrateResult{Moved: false, From: cur, Dest: cur}
 	}
 	pt.prev[vpn] = int32(cur)
 	atomic.StoreInt32(&pt.home[vpn], int32(dest))
 	atomic.AddUint32(&pt.gen[vpn], 1)
 	pt.migrations.Add(1)
-	return MigrateResult{Moved: true, Dest: dest}
+	return MigrateResult{Moved: true, From: cur, Dest: dest}
 }
 
 // PrevHome returns the node the page lived on before its last migration,

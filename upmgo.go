@@ -39,6 +39,7 @@ import (
 	"upmgo/internal/memsys"
 	"upmgo/internal/nas"
 	"upmgo/internal/omp"
+	"upmgo/internal/trace"
 	"upmgo/internal/upm"
 	"upmgo/internal/vm"
 )
@@ -199,6 +200,43 @@ func RunNAS(name string, cfg NASConfig) (NASResult, error) {
 // sweeps when a benchmark name is neither one of the paper's five nor
 // an extension; match it with errors.Is.
 var ErrUnknownBenchmark = exp.ErrUnknownBenchmark
+
+// Virtual-time tracing. Set NASConfig.Tracer (or SweepRunner.TraceDir)
+// to record virtual-time-stamped events from every simulation layer;
+// tracing never charges virtual time, so a traced run's numbers are
+// bit-identical to the same run untraced.
+type (
+	// Tracer receives simulation events; TraceRecorder is the standard
+	// implementation.
+	Tracer = trace.Tracer
+	// TraceRecorder buffers events and merges them deterministically by
+	// (virtual time, CPU, per-CPU sequence).
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one recorded event.
+	TraceEvent = trace.Event
+	// TraceKind identifies an event type.
+	TraceKind = trace.Kind
+	// TracePageMove is one page migration within an event's page list.
+	TracePageMove = trace.PageMove
+	// TraceSummary is the structured digest of one run's trace.
+	TraceSummary = trace.Summary
+)
+
+// NewTraceRecorder returns an empty event recorder.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// WriteChromeTrace renders a merged event stream in the Chrome
+// trace_event JSON format (chrome://tracing, Perfetto).
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	return trace.WriteChromeTrace(w, events)
+}
+
+// SummarizeTrace digests a merged event stream (Recorder.Events order).
+func SummarizeTrace(events []TraceEvent) TraceSummary { return trace.Summarize(events) }
+
+// WriteTraceSummary renders a summary as text: the per-phase virtual-time
+// breakdown, engine counters, and the per-iteration table.
+func WriteTraceSummary(w io.Writer, s TraceSummary) { trace.WriteSummary(w, s) }
 
 // Experiment harness — the paper's tables and figures.
 type (
