@@ -22,11 +22,16 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Host-side (wall clock) effect of the bulk-access fast path: the raw
-# scalar-vs-run sweep, then a full benchmark under both charging modes.
+# Host-side (wall clock) benchmarks, recorded machine-readably: the raw
+# scalar-vs-run sweep of the bulk-access fast path, a full figure
+# benchmark, and the end-to-end sweep with prefix forking on and off.
+# The combined `go test -json` stream is distilled by ci/benchjson into
+# BENCH_host.json (benchmark name -> ns/op, stamped with host and date);
+# check it in to extend the perf trajectory.
 bench-host:
-	$(GO) test -run xxx -bench 'BenchmarkTouch(Scalar|Run)' -benchmem ./internal/machine
-	$(GO) test -run xxx -bench 'BenchmarkFigure1/BT' -benchtime 3x .
+	{ $(GO) test -run xxx -bench 'BenchmarkTouch(Scalar|Run)' -benchmem -json ./internal/machine; \
+	  $(GO) test -run xxx -bench 'BenchmarkFigure1/BT$$|BenchmarkSweepFigure4All' -benchtime 3x -json .; } \
+	| $(GO) run ./ci/benchjson -o BENCH_host.json
 
 # Regenerate every table and figure of the paper (EXPERIMENTS.md input).
 sweep:

@@ -10,6 +10,7 @@
 package upmgo_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -98,6 +99,35 @@ func BenchmarkFigure4(b *testing.B) {
 				}
 			}
 			b.ReportMetric(100*(wcFix/ft-1), "wc-upmlib-slowdown-%")
+		})
+	}
+}
+
+// BenchmarkSweepFigure4All is the end-to-end sweep benchmark tracked in
+// BENCH_host.json: the full Figure 4 (all five benchmarks × 12 cells) on
+// a fresh cache. The fork variant shares cold-start prefix snapshots
+// across the engine variants of each placement (the default); nofork
+// simulates every cell from scratch — the pre-snapshot behaviour — so
+// the pair measures what prefix forking buys end to end.
+func BenchmarkSweepFigure4All(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		noFork bool
+	}{{"fork", false}, {"nofork", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var st upmgo.SweepCacheStats
+			for i := 0; i < b.N; i++ {
+				cache := upmgo.NewSweepCache()
+				r := upmgo.SweepRunner{Cache: cache, NoFork: mode.noFork}
+				if _, err := r.Figure4(context.Background(), upmgo.SweepOptions{
+					Class: upmgo.ClassS, Seed: benchSeed,
+				}); err != nil {
+					b.Fatal(err)
+				}
+				st = cache.Stats()
+			}
+			b.ReportMetric(float64(st.Forked), "forked-cells")
+			b.ReportMetric(float64(st.Prefixes), "prefixes")
 		})
 	}
 }

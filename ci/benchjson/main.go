@@ -1,0 +1,166 @@
+// Command benchjson turns `go test -json -bench` output into the
+// machine-readable BENCH_host.json tracked by `make bench-host`: one
+// object mapping benchmark name to host ns/op, stamped with the host,
+// toolchain and date, so the perf trajectory of the simulator's host-side
+// cost is diffable across commits.
+//
+// Usage:
+//
+//	go test -run xxx -bench ... -json ./... | go run ./ci/benchjson -o BENCH_host.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// testEvent is the subset of the `go test -json` stream benchjson reads.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Test    string `json:"Test"`
+	Output  string `json:"Output"`
+}
+
+// report is the BENCH_host.json schema.
+type report struct {
+	Host   string `json:"host"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	Go     string `json:"go"`
+	Date   string `json:"date"`
+	// Benchmarks maps the full benchmark name (including sub-benchmarks,
+	// e.g. "BenchmarkSweepFigure4All/fork") to host nanoseconds per op.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	benches, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin (want `go test -json -bench` output)")
+		os.Exit(1)
+	}
+	host, _ := os.Hostname()
+	r := report{
+		Host:       host,
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Go:         runtime.Version(),
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Benchmarks: benches,
+	}
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := w.Write(blob); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	// A human-readable echo on stderr, sorted for stable eyeballing.
+	names := make([]string, 0, len(benches))
+	for n := range benches {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(os.Stderr, "benchjson: %-50s %14.0f ns/op\n", n, benches[n])
+	}
+}
+
+// parse extracts "BenchmarkX-N  iters  ns/op" result lines from the
+// -json event stream. The test binary emits a result line in chunks
+// ("BenchmarkFoo \t" in one output event, "  100\t 123 ns/op\n" in the
+// next), so output is reassembled per (package, test) until a newline
+// completes the line. Lines that are not benchmark results (progress,
+// PASS, metrics-only lines) are ignored.
+func parse(sc *bufio.Scanner) (map[string]float64, error) {
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	benches := map[string]float64{}
+	partial := map[string]string{}
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 || line[0] != '{' {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			continue // interleaved non-JSON output
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		key := ev.Package + "\x00" + ev.Test
+		buf := partial[key] + ev.Output
+		for {
+			nl := strings.IndexByte(buf, '\n')
+			if nl < 0 {
+				break
+			}
+			if name, nsop, ok := parseResult(buf[:nl]); ok {
+				benches[name] = nsop
+			}
+			buf = buf[nl+1:]
+		}
+		if buf == "" {
+			delete(partial, key)
+		} else {
+			partial[key] = buf
+		}
+	}
+	return benches, sc.Err()
+}
+
+// parseResult parses one benchmark result line of `go test -bench`
+// output: "BenchmarkName-8   	     100	  12345 ns/op	...".
+func parseResult(s string) (string, float64, bool) {
+	fields := strings.Fields(strings.TrimSpace(s))
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	name := fields[0]
+	// Strip the GOMAXPROCS suffix ("-8") from the last path element so
+	// names compare across hosts with different core counts.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	for i := 2; i+1 < len(fields); i++ {
+		if fields[i+1] == "ns/op" {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return "", 0, false
+			}
+			return name, v, true
+		}
+	}
+	return "", 0, false
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseResult(t *testing.T) {
+	cases := []struct {
+		in   string
+		name string
+		ns   float64
+		ok   bool
+	}{
+		{"BenchmarkTouchRun-8   \t     100\t  12345 ns/op\t 99 B/op", "BenchmarkTouchRun", 12345, true},
+		{"BenchmarkSweepFigure4All/fork-16 \t 3\t 700123456 ns/op\t 12 forked-cells", "BenchmarkSweepFigure4All/fork", 700123456, true},
+		{"BenchmarkNoSuffix \t 10\t 42.5 ns/op", "BenchmarkNoSuffix", 42.5, true},
+		{"PASS", "", 0, false},
+		{"goos: linux", "", 0, false},
+		{"BenchmarkStarted", "", 0, false},
+	}
+	for _, c := range cases {
+		name, ns, ok := parseResult(c.in)
+		if ok != c.ok || name != c.name || ns != c.ns {
+			t.Errorf("parseResult(%q) = (%q, %v, %v), want (%q, %v, %v)",
+				c.in, name, ns, ok, c.name, c.ns, c.ok)
+		}
+	}
+}
+
+func TestParseStream(t *testing.T) {
+	// The test binary splits result lines across output events: the name
+	// chunk first, the counts (with the terminating newline) later.
+	stream := `{"Action":"start","Package":"upmgo"}
+{"Action":"output","Package":"upmgo","Test":"BenchmarkFigure1","Output":"BenchmarkFigure1/BT-8 \t"}
+{"Action":"output","Package":"upmgo","Test":"BenchmarkFigure1","Output":"3\t 500000 ns/op\n"}
+{"Action":"output","Package":"upmgo","Output":"ok  \tupmgo\t1.2s\n"}
+not json at all
+{"Action":"output","Package":"upmgo","Test":"BenchmarkFigure1","Output":"BenchmarkFigure1/BT-8 \t3\t 600000 ns/op\n"}
+`
+	got, err := parse(bufio.NewScanner(strings.NewReader(stream)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A repeated result (e.g. -count) keeps the last value.
+	if len(got) != 1 || got["BenchmarkFigure1/BT"] != 600000 {
+		t.Errorf("parse = %v, want one entry at 600000", got)
+	}
+}

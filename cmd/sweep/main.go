@@ -4,9 +4,13 @@
 // Cells run concurrently on a bounded host worker pool (-jobs) and are
 // memoized across figures, so `sweep -all` simulates each unique
 // (benchmark, config) cell exactly once — Figure 1 is a subset of
-// Figure 4, and Table 2 reuses Figure 4's UPMlib cells. Output order is
-// deterministic regardless of completion order. Ctrl-C cancels the
-// sweep between cells.
+// Figure 4, and Table 2 reuses Figure 4's UPMlib cells. Cells that do
+// simulate share cold-start prefixes: the engine variants of one
+// (benchmark, placement) fork clones of a single simulated cold start
+// instead of repeating it (-nofork falls back to from-scratch runs; the
+// results are identical either way). Output order is deterministic
+// regardless of completion order. Ctrl-C cancels the sweep between
+// cells.
 //
 // Examples:
 //
@@ -18,6 +22,7 @@
 //	sweep -fig 6                    # record-replay on the scaled BT
 //	sweep -fig 5 -trace traces/     # + per-cell Chrome traces
 //	sweep -all -jobs 8              # everything (EXPERIMENTS.md input)
+//	sweep -all -cpuprofile cpu.pb   # + host CPU profile of the sweep
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -76,6 +82,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	quiet := fs.Bool("quiet", false, "suppress the live progress line on stderr")
 	csvOut := fs.Bool("csv", false, "emit figure 1/4 data as CSV instead of bars")
 	traceDir := fs.String("trace", "", "write per-cell Chrome traces and text summaries into this directory (disables memoization)")
+	threads := fs.Int("threads", 0, "simulated team size per cell (0 = all CPUs; 1 = exactly reproducible)")
+	noFork := fs.Bool("nofork", false, "simulate every cell's cold start from scratch instead of forking shared prefix snapshots (bisection aid; results are identical)")
+	cpuProfile := fs.String("cpuprofile", "", "write a host CPU profile of the sweep to this file")
+	memProfile := fs.String("memprofile", "", "write a host heap profile (post-sweep) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,7 +94,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
 	}
 
-	o := upmgo.SweepOptions{Seed: *seed, Iterations: *iters}
+	o := upmgo.SweepOptions{Seed: *seed, Iterations: *iters, Threads: *threads}
 	switch strings.ToUpper(*class) {
 	case "S":
 		o.Class = upmgo.ClassS
@@ -107,9 +117,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	s := &sweeper{out: stdout, errw: stderr, csv: *csvOut}
 	cache := upmgo.NewSweepCache()
-	r := upmgo.SweepRunner{Jobs: *jobs, Cache: cache, TraceDir: *traceDir}
+	r := upmgo.SweepRunner{Jobs: *jobs, Cache: cache, TraceDir: *traceDir, NoFork: *noFork}
 	if !*quiet {
 		r.OnEvent = s.progressLine
 	}
@@ -147,8 +169,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		njobs = runtime.GOMAXPROCS(0)
 	}
 	st := cache.Stats()
-	fmt.Fprintf(stderr, "sweep: %d cells simulated, %d recalled from cache, done in %s (host time, -jobs %d)\n",
-		st.Misses, st.Hits, time.Since(t0).Round(time.Millisecond), njobs)
+	fmt.Fprintf(stderr, "sweep: %d cells simulated (%d forked from %d prefix snapshots), %d recalled from cache, done in %s (host time, -jobs %d)\n",
+		st.Misses, st.Forked, st.Prefixes, st.Hits, time.Since(t0).Round(time.Millisecond), njobs)
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // settle allocations so the heap profile reflects live state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+	}
 	return nil
 }
 

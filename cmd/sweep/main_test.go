@@ -49,6 +49,61 @@ func TestRunTable1(t *testing.T) {
 	}
 }
 
+// TestRunAllForkNoForkByteIdentity is the CLI-level acceptance check for
+// prefix forking: `sweep -all` stdout must be byte-identical with
+// sharing on (the default) and off (-nofork) at -threads 1, while the
+// stderr summary shows the sharing — every simulated cell forked, ~3
+// engine variants per prefix snapshot.
+func TestRunAllForkNoForkByteIdentity(t *testing.T) {
+	var fork, nofork, errw bytes.Buffer
+	base := []string{"-all", "-class", "S", "-threads", "1", "-quiet"}
+	if err := run(base, &fork, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errw.String(), "66 cells simulated (66 forked from 21 prefix snapshots)") {
+		t.Errorf("summary lacks the prefix-reuse report:\n%s", errw.String())
+	}
+	errw.Reset()
+	if err := run(append(base, "-nofork"), &nofork, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errw.String(), "(0 forked from 0 prefix snapshots)") {
+		t.Errorf("-nofork summary still reports forking:\n%s", errw.String())
+	}
+	if fork.String() != nofork.String() {
+		t.Error("sweep -all stdout differs between forking and -nofork")
+	}
+}
+
+// TestRunProfileFlags: -cpuprofile and -memprofile must produce
+// non-empty profile files alongside a normal run.
+func TestRunProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	var out, errw bytes.Buffer
+	args := []string{"-fig", "1", "-class", "S", "-benches", "FT", "-quiet",
+		"-cpuprofile", cpu, "-memprofile", mem}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("profile not written: %v", err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", filepath.Base(path))
+		}
+	}
+	// An unwritable profile path is an error, not a silent no-op.
+	bad := filepath.Join(dir, "no", "such", "dir", "cpu.prof")
+	if err := run([]string{"-table", "1", "-quiet", "-cpuprofile", bad}, &out, &errw); err == nil {
+		t.Error("unwritable -cpuprofile path did not fail")
+	}
+}
+
 // TestRunFigure5Traced is the CLI-level acceptance check for -trace:
 // `sweep -fig 5 -trace dir` must render the figure and drop one
 // Chrome-loadable JSON plus one text summary per cell, with exact

@@ -3,6 +3,8 @@ package exp
 import (
 	"context"
 	"sync"
+
+	"upmgo/internal/nas"
 )
 
 // Cache memoizes completed cells across sweeps, keyed by CellSpec.Key.
@@ -18,6 +20,15 @@ type Cache struct {
 	inflight map[string]*inflightCell
 	hits     uint64
 	misses   uint64
+
+	// Cold-start prefix snapshots (see nas.Prefix), keyed by
+	// bench + nas.Config.PrefixFingerprint. Engine variants of one
+	// (bench, class, placement, seed, scale, threads) tuple share a single
+	// simulated prefix and fork clones from it.
+	prefixes     map[string]*nas.Prefix
+	prefixFlight map[string]*inflightPrefix
+	prefixSims   uint64
+	forked       uint64
 }
 
 type inflightCell struct {
@@ -26,9 +37,20 @@ type inflightCell struct {
 	err  error
 }
 
+type inflightPrefix struct {
+	done chan struct{}
+	p    *nas.Prefix
+	err  error
+}
+
 // NewCache returns an empty cell cache.
 func NewCache() *Cache {
-	return &Cache{cells: map[string]Cell{}, inflight: map[string]*inflightCell{}}
+	return &Cache{
+		cells:        map[string]Cell{},
+		inflight:     map[string]*inflightCell{},
+		prefixes:     map[string]*nas.Prefix{},
+		prefixFlight: map[string]*inflightPrefix{},
+	}
 }
 
 // CacheStats is a snapshot of memoization traffic.
@@ -36,15 +58,22 @@ type CacheStats struct {
 	// Hits counts cells served without a new simulation (recalled, or
 	// joined onto one already in flight).
 	Hits uint64
-	// Misses counts cells that ran a fresh simulation.
+	// Misses counts cells that ran a fresh simulation (from scratch or by
+	// forking a prefix snapshot).
 	Misses uint64
+	// Forked counts the subset of Misses that skipped the cold start by
+	// forking a shared prefix snapshot.
+	Forked uint64
+	// Prefixes counts cold-start prefix simulations (each is shared by
+	// every forked cell with the same prefix fingerprint).
+	Prefixes uint64
 }
 
 // Stats returns a snapshot of the hit/miss counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Forked: c.forked, Prefixes: c.prefixSims}
 }
 
 // Len returns the number of completed cells held.
@@ -110,4 +139,61 @@ func (c *Cache) cell(ctx context.Context, key string, fn func() (Cell, error)) (
 		close(f.done)
 		return f.cell, false, f.err
 	}
+}
+
+// prefix returns the cached prefix snapshot for key, simulating it with
+// fn at most once per key at a time. The single-flight discipline is
+// cell's: errors are not cached, a leader's failure is not inherited,
+// and a surviving waiter retries as the new leader. Prefixes are
+// immutable once built (forks only ever clone them), so one snapshot may
+// be handed to any number of concurrent callers.
+func (c *Cache) prefix(ctx context.Context, key string, fn func() (*nas.Prefix, error)) (*nas.Prefix, error) {
+	for {
+		c.mu.Lock()
+		if p, ok := c.prefixes[key]; ok {
+			c.mu.Unlock()
+			return p, nil
+		}
+		if f, ok := c.prefixFlight[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if f.err == nil {
+				return f.p, nil
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		f := &inflightPrefix{done: make(chan struct{})}
+		c.prefixFlight[key] = f
+		c.prefixSims++
+		c.mu.Unlock()
+
+		f.p, f.err = fn()
+
+		c.mu.Lock()
+		delete(c.prefixFlight, key)
+		if f.err == nil {
+			c.prefixes[key] = f.p
+		}
+		c.mu.Unlock()
+		close(f.done)
+		return f.p, f.err
+	}
+}
+
+// noteFork records one cell simulated by forking a prefix snapshot.
+func (c *Cache) noteFork() {
+	c.mu.Lock()
+	c.forked++
+	c.mu.Unlock()
 }

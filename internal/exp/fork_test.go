@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"upmgo/internal/nas"
+)
+
+// TestRunnerPrefixSharing pins the fork economics on Figure 4: 12 cells
+// per benchmark (4 placements × 3 engines) share 4 cold-start prefixes
+// (one per placement), so every simulated cell is a fork and the prefix
+// count shows the ~3× sharing the snapshot layer exists for.
+func TestRunnerPrefixSharing(t *testing.T) {
+	cache := NewCache()
+	r := Runner{Jobs: 4, Cache: cache}
+	o := SweepOptions{Class: nas.ClassS, Benches: []string{"BT"}, Seed: 42}
+	if _, err := r.Figure4(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.Misses != 12 || st.Forked != 12 || st.Prefixes != 4 {
+		t.Errorf("Figure4 stats %+v, want 12 misses, 12 forked, 4 prefixes", st)
+	}
+
+	// Figure 1 is a subset: everything recalled, nothing new forked.
+	if _, err := r.Figure1(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+	st = cache.Stats()
+	if st.Misses != 12 || st.Forked != 12 || st.Prefixes != 4 {
+		t.Errorf("after Figure1 stats %+v, want no new simulations", st)
+	}
+
+	// Figure 5's recrep cell is engine-only novelty: one new cell, forked
+	// from an already-held prefix — zero new cold starts.
+	if _, err := r.Figure5(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+	st = cache.Stats()
+	if st.Misses != 13 || st.Forked != 13 || st.Prefixes != 4 {
+		t.Errorf("after Figure5 stats %+v, want 13 misses, 13 forked, still 4 prefixes", st)
+	}
+}
+
+// TestRunnerForkNoForkEquivalence is the exp-layer acceptance invariant:
+// at Threads 1 a forking runner and a NoFork runner return bit-identical
+// cells for the same sweep.
+func TestRunnerForkNoForkEquivalence(t *testing.T) {
+	o := SweepOptions{Class: nas.ClassS, Benches: []string{"CG"}, Seed: 42, Threads: 1}
+	fork := Runner{Jobs: 4, Cache: NewCache()}
+	nofork := Runner{Jobs: 4, Cache: NewCache(), NoFork: true}
+
+	f, err := fork.Figure4(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := nofork.Figure4(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, n) {
+		t.Error("Figure4 cells differ between forked and from-scratch simulation")
+	}
+	if st := fork.Cache.Stats(); st.Forked == 0 {
+		t.Error("forking runner forked nothing")
+	}
+	if st := nofork.Cache.Stats(); st.Forked != 0 || st.Prefixes != 0 {
+		t.Errorf("NoFork runner touched the prefix store: %+v", st)
+	}
+}

@@ -77,6 +77,12 @@ type Runner struct {
 	// Traced configs are never memoizable (see nas.Config.Fingerprint),
 	// so every cell simulates fresh, bypassing the Cache.
 	TraceDir string
+	// NoFork disables prefix-snapshot sharing: every cell simulates its
+	// own cold start from scratch instead of forking the shared prefix
+	// held in the Cache. The results are identical either way (exactly so
+	// at Threads 1 — the snapshot invariant proven in internal/nas); the
+	// flag exists as a bisection escape hatch, like nas's ScalarRuns.
+	NoFork bool
 }
 
 // Cells runs one batch of cell specs and returns their cells in spec
@@ -171,14 +177,23 @@ func (r Runner) Cells(ctx context.Context, specs []CellSpec) ([]Cell, error) {
 	return cells, nil
 }
 
-// runCell executes or recalls one cell.
+// runCell executes or recalls one cell. Memoizable cells simulate by
+// forking the benchmark's shared cold-start prefix (simulated once per
+// prefix fingerprint, held in the Cache) unless NoFork asks for the
+// from-scratch path; either way the Cell is the same.
 func (r Runner) runCell(ctx context.Context, spec CellSpec) (Cell, bool, error) {
 	if r.TraceDir != "" {
 		spec.Config.Tracer = trace.NewRecorder()
 	}
 	if r.Cache != nil {
 		if key, ok := spec.Key(); ok {
-			return r.Cache.cell(ctx, key, func() (Cell, error) { return run(spec.Bench, spec.Config) })
+			sim := func() (Cell, error) { return run(spec.Bench, spec.Config) }
+			if !r.NoFork {
+				if pkey, ok := spec.Config.PrefixFingerprint(); ok {
+					sim = func() (Cell, error) { return r.forkCell(ctx, spec, pkey) }
+				}
+			}
+			return r.Cache.cell(ctx, key, sim)
 		}
 	}
 	c, err := run(spec.Bench, spec.Config)
@@ -186,6 +201,32 @@ func (r Runner) runCell(ctx context.Context, spec CellSpec) (Cell, bool, error) 
 		err = r.writeTrace(spec, spec.Config.Tracer.(*trace.Recorder))
 	}
 	return c, false, err
+}
+
+// forkCell simulates spec from the shared prefix snapshot for pkey,
+// building the snapshot first if this is the fingerprint's first cell.
+// Concurrent cells with the same prefix coalesce onto one cold-start
+// simulation and fork independent clones from it.
+func (r Runner) forkCell(ctx context.Context, spec CellSpec, pkey string) (Cell, error) {
+	b, ok := Builder(spec.Bench)
+	if !ok {
+		return Cell{}, fmt.Errorf("exp: %w: %q", ErrUnknownBenchmark, spec.Bench)
+	}
+	p, err := r.Cache.prefix(ctx, spec.Bench+"\x00"+pkey, func() (*nas.Prefix, error) {
+		return nas.RunPrefix(b, spec.Config)
+	})
+	if err != nil {
+		return Cell{}, fmt.Errorf("exp: %s %s: %w", spec.Bench, spec.Config.Label(), err)
+	}
+	res, err := p.RunFromSnapshot(spec.Config)
+	if err != nil {
+		return Cell{}, fmt.Errorf("exp: %s %s: %w", spec.Bench, spec.Config.Label(), err)
+	}
+	if res.VerifyErr != nil {
+		return Cell{}, fmt.Errorf("exp: %s %s failed verification: %w", spec.Bench, spec.Config.Label(), res.VerifyErr)
+	}
+	r.Cache.noteFork()
+	return Cell{Bench: spec.Bench, Label: res.Label, Result: res}, nil
 }
 
 // writeTrace dumps one traced cell's Chrome trace and text summary.

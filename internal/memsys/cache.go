@@ -232,6 +232,24 @@ func (c *Cache) AccessLines(addr uint64, nLines, firstCount, perLine, lastCount 
 	return misses, missAddr, missVer
 }
 
+// Clone returns a deep copy of the cache: tags, coherence versions, LRU
+// state and hit/miss counters. Subsequent accesses to either copy leave
+// the other bit-for-bit untouched, which is what lets a forked machine
+// resume a simulation exactly where its parent stopped.
+func (c *Cache) Clone() *Cache {
+	return &Cache{
+		lineShift: c.lineShift,
+		setMask:   c.setMask,
+		ways:      c.ways,
+		tags:      append([]uint64(nil), c.tags...),
+		vers:      append([]uint32(nil), c.vers...),
+		age:       append([]uint64(nil), c.age...),
+		tick:      c.tick,
+		hits:      c.hits,
+		misses:    c.misses,
+	}
+}
+
 // Contains reports whether addr is resident without disturbing LRU state.
 func (c *Cache) Contains(addr uint64) bool {
 	line := addr >> c.lineShift

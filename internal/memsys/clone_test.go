@@ -1,0 +1,81 @@
+package memsys
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCacheCloneIsolation: a clone is bit-identical to its parent
+// (contents, LRU age, hit/miss stats) and the two diverge independently
+// afterwards — the memsys half of the machine snapshot invariant.
+func TestCacheCloneIsolation(t *testing.T) {
+	c := MustCache(4*1024, 64, 2)
+	for i := uint64(0); i < 512; i++ {
+		c.Access(i*64, 0, 0)
+	}
+	c.Access(0, 0, 0) // a hit, so the stats are non-trivial
+
+	k := c.Clone()
+	if !reflect.DeepEqual(c, k) {
+		t.Fatal("clone differs from parent")
+	}
+
+	// Disturb the clone: new lines evict, stats advance, a version bump
+	// invalidates. The parent must not move.
+	before := *c
+	beforeTags := append([]uint64(nil), c.tags...)
+	for i := uint64(1000); i < 1100; i++ {
+		k.Access(i*64, 0, 0)
+	}
+	k.Access(0, 1, 1)
+	k.Flush()
+	if h, m := c.Stats(); h != before.hits || m != before.misses {
+		t.Error("mutating the clone changed the parent's stats")
+	}
+	if !reflect.DeepEqual(c.tags, beforeTags) {
+		t.Error("mutating the clone changed the parent's tags")
+	}
+
+	// And the reverse: the parent keeps running, the clone's snapshot of
+	// the original state must not move.
+	k2 := c.Clone()
+	for i := uint64(2000); i < 2100; i++ {
+		c.Access(i*64, 0, 0)
+	}
+	if reflect.DeepEqual(c, k2) {
+		t.Error("parent did not diverge from the clone")
+	}
+	if hits, _ := k2.Stats(); hits != before.hits {
+		t.Error("mutating the parent changed the clone")
+	}
+}
+
+// TestTLBCloneIsolation mirrors the cache test for the TLB, including
+// the shootdown generations that version its entries.
+func TestTLBCloneIsolation(t *testing.T) {
+	tl := MustTLB(64, 4)
+	for v := uint64(0); v < 100; v++ {
+		if !tl.Lookup(v, 1) {
+			tl.Insert(v, 1)
+		}
+	}
+	tl.Lookup(99, 1) // hit
+
+	k := tl.Clone()
+	if !reflect.DeepEqual(tl, k) {
+		t.Fatal("clone differs from parent")
+	}
+
+	hits, misses := tl.Stats()
+	for v := uint64(500); v < 600; v++ {
+		k.Insert(v, 2)
+		k.Lookup(v, 2)
+	}
+	k.Flush()
+	if h, m := tl.Stats(); h != hits || m != misses {
+		t.Error("mutating the clone changed the parent's stats")
+	}
+	if !tl.Lookup(99, 1) {
+		t.Error("mutating the clone evicted the parent's entries")
+	}
+}

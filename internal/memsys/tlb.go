@@ -100,6 +100,22 @@ func (t *TLB) LookupRun(vpn uint64, gen uint32, n int) bool {
 	return hit
 }
 
+// Clone returns a deep copy of the TLB: resident translations with their
+// shootdown generations, LRU state and hit/miss counters. See
+// Cache.Clone for the snapshot/fork use.
+func (t *TLB) Clone() *TLB {
+	return &TLB{
+		ways:    t.ways,
+		setMask: t.setMask,
+		vpns:    append([]uint64(nil), t.vpns...),
+		gens:    append([]uint32(nil), t.gens...),
+		age:     append([]uint64(nil), t.age...),
+		tick:    t.tick,
+		hits:    t.hits,
+		misses:  t.misses,
+	}
+}
+
 // Insert loads the translation for vpn at generation gen, evicting LRU.
 func (t *TLB) Insert(vpn uint64, gen uint32) {
 	set := int(vpn&t.setMask) * t.ways

@@ -209,6 +209,31 @@ func (c Config) Fingerprint() (string, bool) {
 	return fmt.Sprintf("%+v", c), true
 }
 
+// PrefixFingerprint returns a canonical key for the engine-independent
+// prefix of a run — Fingerprint minus every field the prefix does not
+// read. Two configs with equal prefix fingerprints drive bit-identical
+// cold starts, so their runs can fork from one shared machine snapshot
+// (RunPrefix / Prefix.RunFromSnapshot). The field list mirrors exactly
+// what runPrefix consumes: Class, Placement, Seed, ComputeScale
+// (canonicalised, 0≡1) and Threads; the engine and timed-loop fields
+// (KernelMig, UPM, UPMOptions, Kmig, Iterations, PerturbAt, SkipVerify)
+// act only after the divergence point and are deliberately absent. The
+// second result is false when the prefix cannot be canonically encoded,
+// for the same reasons as Fingerprint: a Tweak function has no canonical
+// encoding, and forking a traced prefix would replay its cold-start
+// events into the wrong stream.
+func (c Config) PrefixFingerprint() (string, bool) {
+	if c.Tweak != nil || c.Tracer != nil {
+		return "", false
+	}
+	scale := c.ComputeScale
+	if scale < 1 {
+		scale = 1
+	}
+	return fmt.Sprintf("prefix\x00class=%v placement=%v seed=%d scale=%d threads=%d",
+		c.Class, c.Placement, c.Seed, scale, c.Threads), true
+}
+
 // Label renders the paper's bar labels, e.g. "rr-IRIXmig" or "ft-upmlib".
 func (c Config) Label() string {
 	switch {
@@ -261,7 +286,27 @@ func (r Result) String() string {
 //     mode, results discarded) so first-touch placement happens exactly as
 //     in the tuned NAS codes, 3. reset counters, 4. run the timed main
 //     loop with the configured migration engines, 5. verify.
+//
+// Steps 1–3 are engine-independent by construction (runPrefix reads no
+// engine field of the config); RunPrefix/RunFromSnapshot exploit that to
+// simulate them once per (class, placement, threads, seed, scale) tuple
+// and fork machine clones for the engine variants.
 func Run(build Builder, cfg Config) (Result, error) {
+	m, k, team, err := runPrefix(build, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return runMain(m, k, team, cfg)
+}
+
+// runPrefix performs the engine-independent prefix of a run: machine
+// build, kernel build, the serial cold-start first-touch iteration, data
+// reinitialisation and the counter reset. It reads only Class, Placement,
+// Seed, ComputeScale, Threads, Tweak and Tracer from the config — never
+// an engine or timed-loop field — which is what makes the state it
+// produces shareable across engine variants (PrefixFingerprint keys
+// exactly this field set).
+func runPrefix(build Builder, cfg Config) (*machine.Machine, Kernel, *omp.Team, error) {
 	mc := machine.DefaultConfig()
 	cfg.Class.MachineTweak(&mc)
 	mc.Placement = cfg.Placement
@@ -271,7 +316,7 @@ func Run(build Builder, cfg Config) (Result, error) {
 	}
 	m, err := machine.New(mc)
 	if err != nil {
-		return Result{}, err
+		return nil, nil, nil, err
 	}
 	// Attach before the cold start so first-touch faults are in the trace.
 	m.SetTracer(cfg.Tracer)
@@ -280,16 +325,6 @@ func Run(build Builder, cfg Config) (Result, error) {
 		scale = 1
 	}
 	k := build(m, cfg.Class, scale, cfg.Seed)
-	if cfg.UPM == UPMRecRep && !k.HasPhase() {
-		return Result{}, fmt.Errorf("nas: %s has no phase change; record-replay does not apply", k.Name())
-	}
-
-	// The kernel engine is enabled after the cold start: the timed main
-	// loop is where the paper's engines compete, and letting it repair
-	// placement during the untimed cold start would credit it with free
-	// migrations no real run gets.
-	eng := kmig.Attach(m, cfg.Kmig)
-	eng.SetEnabled(false)
 
 	threads := cfg.Threads
 	if threads == 0 {
@@ -297,7 +332,7 @@ func Run(build Builder, cfg Config) (Result, error) {
 	}
 	team, err := omp.NewTeam(m, threads)
 	if err != nil {
-		return Result{}, err
+		return nil, nil, nil, err
 	}
 
 	// Parallel initialisation plus one cold-start iteration: the tuned
@@ -311,6 +346,26 @@ func Run(build Builder, cfg Config) (Result, error) {
 	team.SetSerial(false)
 	k.Reinit()
 	m.PT.ResetAllCounters()
+	return m, k, team, nil
+}
+
+// runMain arms the configured migration engines and runs the timed main
+// loop plus verification — everything after the divergence point. The
+// kernel engine attaches here rather than before the cold start: a
+// disabled engine's barrier hook is a pure no-op, so attaching the
+// engine late is bit-identical to carrying it disabled through the
+// prefix, and it keeps the prefix machine hook-free (barrier hooks are
+// closures and cannot be cloned; see machine.Machine.Clone).
+func runMain(m *machine.Machine, k Kernel, team *omp.Team, cfg Config) (Result, error) {
+	if cfg.UPM == UPMRecRep && !k.HasPhase() {
+		return Result{}, fmt.Errorf("nas: %s has no phase change; record-replay does not apply", k.Name())
+	}
+
+	// The kernel engine is enabled only for the timed loop: that is where
+	// the paper's engines compete, and letting it repair placement during
+	// the untimed cold start would credit it with free migrations no real
+	// run gets.
+	eng := kmig.Attach(m, cfg.Kmig)
 	eng.SetEnabled(cfg.KernelMig)
 
 	var u *upm.UPM
@@ -366,7 +421,7 @@ func Run(build Builder, cfg Config) (Result, error) {
 		if cfg.PerturbAt != 0 && step == cfg.PerturbAt {
 			// The "OS" migrates every thread one node over.
 			perm := team.Binding()
-			shift := mc.CPUsPerNode
+			shift := m.Cfg.CPUsPerNode
 			rotated := make([]int, len(perm))
 			for i := range perm {
 				rotated[i] = perm[(i+shift)%len(perm)]

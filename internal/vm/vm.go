@@ -139,6 +139,42 @@ func New(topo *topology.Hypercube, cfg Config) (*PageTable, error) {
 	return pt, nil
 }
 
+// Clone returns a deep copy of the page table — homes, generations,
+// freeze bits, ping-pong history, reference counters, replica masks, the
+// write log, capacity tallies and event counters — sharing only the
+// immutable topology. The copy must be taken at a quiescent point (no
+// concurrent Resolve/CountMiss in flight); machine.Machine.Clone
+// documents the full snapshot contract.
+func (pt *PageTable) Clone() *PageTable {
+	n := &PageTable{
+		topo:        pt.topo,
+		policy:      pt.policy,
+		seed:        pt.seed,
+		counterMax:  pt.counterMax,
+		home:        append([]int32(nil), pt.home...),
+		gen:         append([]uint32(nil), pt.gen...),
+		frozen:      append([]uint32(nil), pt.frozen...),
+		prev:        append([]int32(nil), pt.prev...),
+		counters:    append([]uint32(nil), pt.counters...),
+		trackWrites: pt.trackWrites,
+		used:        append([]int64(nil), pt.used...),
+		capacity:    pt.capacity,
+	}
+	// repl and written are lazily allocated; preserve nil-ness so the
+	// clone takes the same allocation paths as the original.
+	if pt.repl != nil {
+		n.repl = append([]uint32(nil), pt.repl...)
+	}
+	if pt.written != nil {
+		n.written = append([]uint32(nil), pt.written...)
+	}
+	n.replicas.Store(pt.replicas.Load())
+	n.collapses.Store(pt.collapses.Load())
+	n.faults.Store(pt.faults.Load())
+	n.migrations.Store(pt.migrations.Load())
+	return n
+}
+
 // Pages returns the arena size in pages.
 func (pt *PageTable) Pages() int { return len(pt.home) }
 

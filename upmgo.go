@@ -168,6 +168,13 @@ type (
 	NASClass = nas.Class
 	// UPMMode selects the UPMlib protocol for a NAS run.
 	UPMMode = nas.Mode
+	// NASPrefix is a reusable snapshot of one benchmark's
+	// engine-independent cold start (machine build, allocation,
+	// initialisation, the serial first-touch iteration). Build one with
+	// RunNASPrefix, then fork any number of engine variants from it with
+	// its RunFromSnapshot method; at Threads 1 a fork is bit-identical to
+	// RunNAS from scratch.
+	NASPrefix = nas.Prefix
 )
 
 // NAS problem classes and UPMlib protocols.
@@ -194,6 +201,18 @@ func RunNAS(name string, cfg NASConfig) (NASResult, error) {
 		return NASResult{}, fmt.Errorf(`upmgo: %w: %q (want "BT", "SP", "CG", "MG", "FT", or the "LU"/"EP"/"IS" extensions)`, ErrUnknownBenchmark, name)
 	}
 	return nas.Run(b, cfg)
+}
+
+// RunNASPrefix simulates the engine-independent cold-start prefix of cfg
+// once and returns it as a reusable snapshot: fork engine variants from
+// it with NASPrefix.RunFromSnapshot instead of repeating the cold start
+// per variant. Configs with a Tweak or Tracer cannot be snapshotted.
+func RunNASPrefix(name string, cfg NASConfig) (*NASPrefix, error) {
+	b, ok := exp.Builder(name)
+	if !ok {
+		return nil, fmt.Errorf(`upmgo: %w: %q (want "BT", "SP", "CG", "MG", "FT", or the "LU"/"EP"/"IS" extensions)`, ErrUnknownBenchmark, name)
+	}
+	return nas.RunPrefix(b, cfg)
 }
 
 // ErrUnknownBenchmark is the sentinel wrapped by RunNAS and the figure
@@ -259,6 +278,9 @@ type (
 	// SweepCache memoizes completed cells across sweeps, so overlapping
 	// figures (Figure 1 ⊂ Figure 4; Table 2 reuses Figure 4's UPMlib
 	// cells) simulate each unique (benchmark, config) cell exactly once.
+	// It also holds the shared cold-start prefix snapshots (NASPrefix)
+	// that let engine variants of one placement fork a single simulated
+	// prefix instead of repeating it (disable with SweepRunner.NoFork).
 	SweepCache = exp.Cache
 	// SweepCacheStats is a snapshot of a SweepCache's hit/miss counters.
 	SweepCacheStats = exp.CacheStats
