@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-host sweep examples clean
+.PHONY: all build test race cover bench bench-host bench-check sweep examples clean
 
 all: build test
 
@@ -32,6 +32,15 @@ bench-host:
 	{ $(GO) test -run xxx -bench 'BenchmarkTouch(Scalar|Run)' -benchmem -json ./internal/machine; \
 	  $(GO) test -run xxx -bench 'BenchmarkFigure1/BT$$|BenchmarkSweepFigure4All' -benchtime 3x -json .; } \
 	| $(GO) run ./ci/benchjson -o BENCH_host.json
+
+# Regression gate: re-run the same benchmarks and diff against the
+# checked-in BENCH_host.json; exits non-zero on any slowdown beyond 10%.
+# Host benches are wall-clock noisy — treat a failure as a prompt to
+# investigate (and re-run), not as proof of a regression.
+bench-check:
+	{ $(GO) test -run xxx -bench 'BenchmarkTouch(Scalar|Run)' -benchmem -json ./internal/machine; \
+	  $(GO) test -run xxx -bench 'BenchmarkFigure1/BT$$|BenchmarkSweepFigure4All' -benchtime 3x -json .; } \
+	| $(GO) run ./ci/benchjson -compare BENCH_host.json
 
 # Regenerate every table and figure of the paper (EXPERIMENTS.md input).
 sweep:

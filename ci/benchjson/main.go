@@ -2,18 +2,27 @@
 // machine-readable BENCH_host.json tracked by `make bench-host`: one
 // object mapping benchmark name to host ns/op, stamped with the host,
 // toolchain and date, so the perf trajectory of the simulator's host-side
-// cost is diffable across commits.
+// cost is diffable across commits. Rewriting an existing file pushes its
+// previous snapshot into a history array, so the trajectory accumulates
+// dated datapoints instead of overwriting them.
+//
+// With -compare, benchjson instead diffs a fresh run against the
+// checked-in baseline and exits non-zero when any benchmark regressed
+// beyond the tolerance — the `make bench-check` regression gate.
 //
 // Usage:
 //
 //	go test -run xxx -bench ... -json ./... | go run ./ci/benchjson -o BENCH_host.json
+//	go test -run xxx -bench ... -json ./... | go run ./ci/benchjson -compare BENCH_host.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -30,6 +39,13 @@ type testEvent struct {
 	Output  string `json:"Output"`
 }
 
+// datapoint is one superseded snapshot in the perf trajectory.
+type datapoint struct {
+	Date       string             `json:"date"`
+	Go         string             `json:"go"`
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
 // report is the BENCH_host.json schema.
 type report struct {
 	Host   string `json:"host"`
@@ -40,21 +56,47 @@ type report struct {
 	// Benchmarks maps the full benchmark name (including sub-benchmarks,
 	// e.g. "BenchmarkSweepFigure4All/fork") to host nanoseconds per op.
 	Benchmarks map[string]float64 `json:"benchmarks"`
+	// History holds earlier snapshots, oldest first: each rewrite of the
+	// file pushes the snapshot it replaces onto the tail.
+	History []datapoint `json:"history,omitempty"`
 }
 
 func main() {
-	out := flag.String("o", "", "output file (default stdout)")
-	flag.Parse()
-
-	benches, err := parse(bufio.NewScanner(os.Stdin))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		}
 		os.Exit(1)
+	}
+}
+
+// run is main without the process exit, testable against any streams.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "output file (default stdout); an existing report's snapshot moves into history")
+	compare := fs.String("compare", "", "compare the fresh run against this baseline report instead of writing one")
+	tolerance := fs.Float64("tolerance", 10, "with -compare: fail on slowdowns above this percentage")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+
+	benches, err := parse(bufio.NewScanner(stdin))
+	if err != nil {
+		return err
 	}
 	if len(benches) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin (want `go test -json -bench` output)")
-		os.Exit(1)
+		return errors.New("no benchmark results on stdin (want `go test -json -bench` output)")
 	}
+
+	if *compare != "" {
+		return compareReport(*compare, benches, *tolerance, stdout)
+	}
+
 	host, _ := os.Hostname()
 	r := report{
 		Host:       host,
@@ -64,35 +106,97 @@ func main() {
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		Benchmarks: benches,
 	}
+	if *out != "" {
+		if prev, err := readReport(*out); err == nil {
+			r.History = append(prev.History, datapoint{Date: prev.Date, Go: prev.Go, Benchmarks: prev.Benchmarks})
+		}
+	}
 	blob, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	blob = append(blob, '\n')
-	w := os.Stdout
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		w = f
 	}
 	if _, err := w.Write(blob); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	// A human-readable echo on stderr, sorted for stable eyeballing.
-	names := make([]string, 0, len(benches))
-	for n := range benches {
+	for _, n := range sortedNames(benches) {
+		fmt.Fprintf(stderr, "benchjson: %-50s %14.0f ns/op\n", n, benches[n])
+	}
+	return nil
+}
+
+// readReport loads a BENCH_host.json.
+func readReport(path string) (report, error) {
+	var r report
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// compareReport diffs a fresh run against the baseline: one line per
+// benchmark with the percentage delta, and an error naming every
+// benchmark that slowed down beyond the tolerance. Benchmarks missing
+// from either side are reported but never fail the gate — host benches
+// come and go with the suite.
+func compareReport(path string, fresh map[string]float64, tolerance float64, stdout io.Writer) error {
+	base, err := readReport(path)
+	if err != nil {
+		return err
+	}
+	if len(base.Benchmarks) == 0 {
+		return fmt.Errorf("%s holds no benchmarks", path)
+	}
+	var regressed []string
+	fmt.Fprintf(stdout, "benchjson: fresh run vs %s (%s, ±%.0f%% tolerance)\n", path, base.Date, tolerance)
+	for _, n := range sortedNames(base.Benchmarks) {
+		was := base.Benchmarks[n]
+		now, ok := fresh[n]
+		if !ok {
+			fmt.Fprintf(stdout, "  %-50s %14.0f ns/op -> (not run)\n", n, was)
+			continue
+		}
+		delta := 100 * (now - was) / was
+		verdict := "ok"
+		if delta > tolerance {
+			verdict = "REGRESSED"
+			regressed = append(regressed, fmt.Sprintf("%s %+.1f%%", n, delta))
+		}
+		fmt.Fprintf(stdout, "  %-50s %14.0f -> %14.0f ns/op  %+6.1f%%  %s\n", n, was, now, delta, verdict)
+	}
+	for _, n := range sortedNames(fresh) {
+		if _, ok := base.Benchmarks[n]; !ok {
+			fmt.Fprintf(stdout, "  %-50s (new) %14.0f ns/op\n", n, fresh[n])
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%: %s",
+			len(regressed), tolerance, strings.Join(regressed, ", "))
+	}
+	return nil
+}
+
+func sortedNames(m map[string]float64) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	for _, n := range names {
-		fmt.Fprintf(os.Stderr, "benchjson: %-50s %14.0f ns/op\n", n, benches[n])
-	}
+	return names
 }
 
 // parse extracts "BenchmarkX-N  iters  ns/op" result lines from the

@@ -2,6 +2,11 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -46,5 +51,136 @@ not json at all
 	// A repeated result (e.g. -count) keeps the last value.
 	if len(got) != 1 || got["BenchmarkFigure1/BT"] != 600000 {
 		t.Errorf("parse = %v, want one entry at 600000", got)
+	}
+}
+
+// stream builds a minimal `go test -json` stream carrying the given
+// benchmark results, with each result line split across two output
+// events the way the test binary actually emits them.
+func stream(benches map[string]float64) string {
+	var sb strings.Builder
+	enc := json.NewEncoder(&sb)
+	for name, ns := range benches {
+		enc.Encode(testEvent{Action: "output", Package: "p", Output: name + "-8 \t"})
+		enc.Encode(testEvent{Action: "output", Package: "p", Output: fmt.Sprintf("     100\t%12.0f ns/op\n", ns)})
+	}
+	enc.Encode(testEvent{Action: "output", Package: "p", Output: "PASS\n"})
+	return sb.String()
+}
+
+// TestRunWriteAndHistory: -o writes the report, and each rewrite pushes
+// the superseded snapshot onto the history tail — the perf trajectory.
+func TestRunWriteAndHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	var out, errw bytes.Buffer
+	in := strings.NewReader(stream(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 2000}))
+	if err := run([]string{"-o", path}, in, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	first, err := readReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Benchmarks["BenchmarkA"] != 100 || first.Benchmarks["BenchmarkB"] != 2000 {
+		t.Errorf("report benchmarks wrong: %+v", first.Benchmarks)
+	}
+	if len(first.History) != 0 {
+		t.Errorf("fresh report carries history: %+v", first.History)
+	}
+	if !strings.Contains(errw.String(), "BenchmarkA") {
+		t.Error("stderr echo missing")
+	}
+
+	in = strings.NewReader(stream(map[string]float64{"BenchmarkA": 110}))
+	if err := run([]string{"-o", path}, in, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	in = strings.NewReader(stream(map[string]float64{"BenchmarkA": 120}))
+	if err := run([]string{"-o", path}, in, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	final, err := readReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Benchmarks["BenchmarkA"] != 120 {
+		t.Errorf("latest snapshot wrong: %+v", final.Benchmarks)
+	}
+	if len(final.History) != 2 ||
+		final.History[0].Benchmarks["BenchmarkA"] != 100 ||
+		final.History[1].Benchmarks["BenchmarkA"] != 110 {
+		t.Fatalf("trajectory wrong (want oldest first): %+v", final.History)
+	}
+}
+
+// TestRunCompare: the regression gate passes within tolerance, fails
+// beyond it naming the offender, and treats missing/new benchmarks as
+// informational only.
+func TestRunCompare(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	blob, err := json.Marshal(report{Date: "2026-01-01", Benchmarks: map[string]float64{
+		"BenchmarkA": 100, "BenchmarkB": 2000, "BenchmarkGone": 5,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Within tolerance (A +5%, B -10%), one baseline bench not run, one
+	// new bench: passes, reports every line.
+	var out, errw bytes.Buffer
+	in := strings.NewReader(stream(map[string]float64{"BenchmarkA": 105, "BenchmarkB": 1800, "BenchmarkNew": 7}))
+	if err := run([]string{"-compare", path}, in, &out, &errw); err != nil {
+		t.Fatalf("within-tolerance compare failed: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"+5.0%", "-10.0%", "(not run)", "(new)", "ok"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("compare output lacks %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "REGRESSED") {
+		t.Errorf("false regression:\n%s", text)
+	}
+
+	// Beyond tolerance: fails and names the offender.
+	out.Reset()
+	in = strings.NewReader(stream(map[string]float64{"BenchmarkA": 120, "BenchmarkB": 2000}))
+	err = run([]string{"-compare", path}, in, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkA") {
+		t.Fatalf("20%% slowdown: got %v, want a regression naming BenchmarkA", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("compare output lacks the verdict:\n%s", out.String())
+	}
+
+	// A looser tolerance admits the same run.
+	out.Reset()
+	in = strings.NewReader(stream(map[string]float64{"BenchmarkA": 120, "BenchmarkB": 2000}))
+	if err := run([]string{"-compare", path, "-tolerance", "25"}, in, &out, &errw); err != nil {
+		t.Fatalf("-tolerance 25 still failed: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	good := stream(map[string]float64{"BenchmarkA": 1})
+	cases := []struct {
+		args  []string
+		stdin string
+	}{
+		{[]string{"-nope"}, good},
+		{[]string{"stray"}, good},
+		{nil, ""},                                         // no results on stdin
+		{nil, "not json at all\n"},                        // still no results
+		{[]string{"-compare", "/does/not/exist"}, good},   // unreadable baseline
+		{[]string{"-o", "/does/not/exist/dir/out"}, good}, // unwritable output
+	}
+	for _, c := range cases {
+		var out, errw bytes.Buffer
+		if err := run(c.args, strings.NewReader(c.stdin), &out, &errw); err == nil {
+			t.Errorf("run(%v, %q) succeeded, want an error", c.args, c.stdin)
+		}
 	}
 }

@@ -8,11 +8,20 @@
 // distribution after the first iteration:
 //
 //	pagemap -bench BT -placement wc -upm dist
+//
+// With -from, pagemap renders a metrics series captured earlier by
+// `sweep -metrics` instead of running a simulation: each character is
+// then the node that referenced the page most during that iteration
+// ('.' where no references landed — cache-resident or frozen pages):
+//
+//	pagemap -from out/bt-wc-upmlib-classS.metrics.json
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -27,19 +36,53 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "BT", "benchmark: BT, SP, CG, MG, FT or LU (extension)")
-	placement := flag.String("placement", "wc", "page placement: ft, rr, rand or wc")
-	upmMode := flag.String("upm", "dist", "UPMlib mode: off or dist")
-	iters := flag.Int("iters", 4, "iterations to run")
-	width := flag.Int("width", 96, "pages per output row")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintf(os.Stderr, "pagemap: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is main without the process exit, testable against any writers.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pagemap", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "BT", "benchmark: BT, SP, CG, MG, FT or LU (extension)")
+	class := fs.String("class", "W", "problem class: S, W or A")
+	placement := fs.String("placement", "wc", "page placement: ft, rr, rand or wc")
+	upmMode := fs.String("upm", "dist", "UPMlib mode: off or dist")
+	iters := fs.Int("iters", 4, "iterations to run")
+	width := fs.Int("width", 96, "pages per output row")
+	from := fs.String("from", "", "render this metrics series (a .metrics.json from `sweep -metrics`) instead of simulating")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	if *from != "" {
+		return renderSeries(*from, *width, stdout)
+	}
 
 	build, ok := exp.Builder(strings.ToUpper(*bench))
 	if !ok {
-		fatal("unknown benchmark %q", *bench)
+		return fmt.Errorf("unknown benchmark %q", *bench)
+	}
+	var cls nas.Class
+	switch strings.ToUpper(*class) {
+	case "S":
+		cls = nas.ClassS
+	case "W":
+		cls = nas.ClassW
+	case "A":
+		cls = nas.ClassA
+	default:
+		return fmt.Errorf("unknown class %q", *class)
 	}
 	mc := machine.DefaultConfig()
-	nas.ClassW.MachineTweak(&mc)
+	cls.MachineTweak(&mc)
 	switch *placement {
 	case "ft":
 		mc.Placement = vm.FirstTouch
@@ -50,17 +93,22 @@ func main() {
 	case "wc":
 		mc.Placement = vm.WorstCase
 	default:
-		fatal("unknown placement %q", *placement)
+		return fmt.Errorf("unknown placement %q", *placement)
+	}
+	switch *upmMode {
+	case "off", "dist":
+	default:
+		return fmt.Errorf("unknown upm mode %q (want off or dist)", *upmMode)
 	}
 	m, err := machine.New(mc)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
-	k := build(m, nas.ClassW, 1, 42)
+	k := build(m, cls, 1, 42)
 	kmig.Attach(m, kmig.Config{}).SetEnabled(false)
 	team, err := omp.NewTeam(m, m.NumCPUs())
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 
 	team.SetSerial(true)
@@ -78,23 +126,71 @@ func main() {
 		}
 	}
 
-	fmt.Printf("%s, %s placement, upm=%s — page homes by node (one char per page)\n\n",
+	fmt.Fprintf(stdout, "%s, %s placement, upm=%s — page homes by node (one char per page)\n\n",
 		k.Name(), mc.Placement, *upmMode)
-	dump(m, k, *width, "after cold start")
+	dump(stdout, m, k, *width, "after cold start")
 	for step := 1; step <= *iters; step++ {
 		k.Step(team, nil)
 		if u != nil && (step == 1 || (u.Active() && u.LastMigrations() > 0)) {
 			u.MigrateMemory(team.Master())
 		}
-		dump(m, k, *width, fmt.Sprintf("after iteration %d", step))
+		dump(stdout, m, k, *width, fmt.Sprintf("after iteration %d", step))
 	}
-	hist := m.PT.HomeHistogram()
-	fmt.Printf("pages per node: %v\n", hist)
-	_ = upmgo.ClassW // keep the public facade linked for documentation purposes
+	fmt.Fprintf(stdout, "pages per node: %v\n", m.PT.HomeHistogram())
+	return nil
 }
 
-func dump(m *machine.Machine, k nas.Kernel, width int, label string) {
-	fmt.Println(label + ":")
+// renderSeries prints one map per captured iteration from a metrics
+// series' heatmaps: the dominant referencing node per hot page.
+func renderSeries(path string, width int, stdout io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	se, err := upmgo.ReadMetricsSeries(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(se.Heat) == 0 {
+		return fmt.Errorf("%s carries no heatmaps — capture with `sweep -metrics dir` or MetricsOptions{Heatmap: true}", path)
+	}
+	cell := se.Cell
+	if cell == "" {
+		cell = path
+	}
+	fmt.Fprintf(stdout, "%s — dominant referencing node per page (one char per page)\n\n", cell)
+	for _, h := range se.Heat {
+		fmt.Fprintf(stdout, "after iteration %d:\n", h.Step)
+		var sb strings.Builder
+		for p := 0; p < h.Pages; p++ {
+			row := h.Counts[p*h.Nodes : (p+1)*h.Nodes]
+			best, bestN := uint32(0), -1
+			for n, v := range row {
+				if v > best {
+					best, bestN = v, n
+				}
+			}
+			if bestN < 0 {
+				sb.WriteByte('.')
+			} else {
+				sb.WriteByte(byte('0' + bestN%10))
+			}
+			if (p+1)%width == 0 {
+				sb.WriteByte('\n')
+			}
+		}
+		out := sb.String()
+		if !strings.HasSuffix(out, "\n") {
+			out += "\n"
+		}
+		fmt.Fprintln(stdout, out)
+	}
+	return nil
+}
+
+func dump(w io.Writer, m *machine.Machine, k nas.Kernel, width int, label string) {
+	fmt.Fprintln(w, label+":")
 	var sb strings.Builder
 	col := 0
 	for _, r := range k.HotPages() {
@@ -122,10 +218,5 @@ func dump(m *machine.Machine, k nas.Kernel, width int, label string) {
 	if !strings.HasSuffix(out, "\n") {
 		out += "\n"
 	}
-	fmt.Println(out)
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "pagemap: "+format+"\n", args...)
-	os.Exit(1)
+	fmt.Fprintln(w, out)
 }

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"upmgo"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-nope"},
+		{"-bench", "UA"},
+		{"-class", "Q"},
+		{"-placement", "best"},
+		{"-upm", "sometimes"},
+		{"stray"},
+		{"-from", "/does/not/exist.json"},
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if err := run(args, &out, &errw); err == nil {
+			t.Errorf("run(%v) succeeded, want an error", args)
+		}
+	}
+}
+
+// TestRunSimulated drives the live-simulation path on the fast class and
+// checks the map's shape: a cold-start dump, one dump per iteration, the
+// closing histogram, and only legal page symbols.
+func TestRunSimulated(t *testing.T) {
+	var out, errw bytes.Buffer
+	args := []string{"-bench", "CG", "-class", "S", "-placement", "wc", "-upm", "dist",
+		"-iters", "3", "-width", "32"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"wc placement, upm=dist",
+		"after cold start:",
+		"after iteration 1:",
+		"after iteration 3:",
+		"pages per node:",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output lacks %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "after iteration 4:") {
+		t.Error("ran more iterations than -iters asked for")
+	}
+	// Page rows hold only node digits, replicas, frozen or unmapped marks.
+	inMap := false
+	for _, line := range strings.Split(text, "\n") {
+		switch {
+		case strings.HasSuffix(line, ":"):
+			inMap = true
+		case line == "" || strings.HasPrefix(line, "pages per node"):
+			inMap = false
+		case inMap:
+			if rest := strings.Trim(line, "01234567.*!"); rest != "" {
+				t.Errorf("map row holds foreign characters %q: %s", rest, line)
+			}
+		}
+	}
+	// UPMlib moved the worst-case pages: some page left its initial home.
+	if !strings.Contains(text, "after iteration 1:") {
+		t.Fatal("no iteration dump to compare")
+	}
+}
+
+// TestRunFromSeries renders a captured metrics series instead of
+// simulating: one dominant-node map per heatmap, with the cell name in
+// the header.
+func TestRunFromSeries(t *testing.T) {
+	s := upmgo.NewMetricsSampler(upmgo.MetricsOptions{Heatmap: true, Cell: "cg-wc-test"})
+	cfg := upmgo.NASConfig{
+		Class:     upmgo.ClassS,
+		Placement: upmgo.WorstCase,
+		UPM:       upmgo.UPMDistribute,
+		Threads:   1,
+		Metrics:   s,
+	}
+	res, err := upmgo.RunNAS("CG", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cg.metrics.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Series().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errw bytes.Buffer
+	if err := run([]string{"-from", path, "-width", "8"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "cg-wc-test — dominant referencing node") {
+		t.Errorf("header lacks the cell name:\n%s", text)
+	}
+	if got := strings.Count(text, "after iteration "); got != len(res.IterPS) {
+		t.Errorf("rendered %d maps, want one per iteration (%d)", got, len(res.IterPS))
+	}
+	if !strings.ContainsAny(text, "01234567") {
+		t.Errorf("no dominant node rendered anywhere:\n%s", text)
+	}
+
+	// A series captured without heatmaps is an explicit error.
+	empty := upmgo.NewMetricsSampler(upmgo.MetricsOptions{})
+	cfg.Metrics = empty
+	if _, err := upmgo.RunNAS("CG", cfg); err != nil {
+		t.Fatal(err)
+	}
+	bare := filepath.Join(t.TempDir(), "bare.metrics.json")
+	bf, err := os.Create(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := empty.Series().WriteJSON(bf); err != nil {
+		t.Fatal(err)
+	}
+	bf.Close()
+	if err := run([]string{"-from", bare}, &out, &errw); err == nil || !strings.Contains(err.Error(), "no heatmaps") {
+		t.Errorf("heatmap-less series: got %v, want a no-heatmaps error", err)
+	}
+}

@@ -31,8 +31,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -60,11 +63,18 @@ var errUsage = errors.New("nothing selected: pass -all, -fig or -table")
 // sweeper holds one invocation's output streams and rendering state, so
 // run is re-entrant and testable (main used package-level variables).
 type sweeper struct {
-	out  io.Writer
-	errw io.Writer
-	csv  bool
-	done int // finished cells on the current progress line
+	out     io.Writer
+	errw    io.Writer
+	csv     bool
+	done    int  // finished cells on the current progress line
+	collect bool // -metrics set: keep figure 1/4 cells for locality.md
+	cells   []upmgo.ExperimentCell
 }
+
+// metricsServed is a test seam: when a -metrics-addr server is up, run
+// calls it with the bound address after the sweep completes and before
+// the server shuts down, so tests can scrape the live endpoint.
+var metricsServed = func(addr string) {}
 
 // run is main without the process exit: it parses args, runs the
 // selected sweeps, and writes tables to stdout and progress to stderr.
@@ -86,6 +96,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	noFork := fs.Bool("nofork", false, "simulate every cell's cold start from scratch instead of forking shared prefix snapshots (bisection aid; results are identical)")
 	cpuProfile := fs.String("cpuprofile", "", "write a host CPU profile of the sweep to this file")
 	memProfile := fs.String("memprofile", "", "write a host heap profile (post-sweep) to this file")
+	metricsDir := fs.String("metrics", "", "write per-cell NUMA metrics (JSON/CSV/Prometheus series, page heatmaps) and a locality.md digest into this directory (disables memoization)")
+	metricsAddr := fs.String("metrics-addr", "", "serve live /metrics, /debug/vars and /debug/pprof on this address while sweeping (e.g. localhost:9090; disables memoization)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -129,11 +141,42 @@ func run(args []string, stdout, stderr io.Writer) error {
 		defer pprof.StopCPUProfile()
 	}
 
-	s := &sweeper{out: stdout, errw: stderr, csv: *csvOut}
+	s := &sweeper{out: stdout, errw: stderr, csv: *csvOut, collect: *metricsDir != ""}
 	cache := upmgo.NewSweepCache()
-	r := upmgo.SweepRunner{Jobs: *jobs, Cache: cache, TraceDir: *traceDir, NoFork: *noFork}
+	r := upmgo.SweepRunner{Jobs: *jobs, Cache: cache, TraceDir: *traceDir, NoFork: *noFork, MetricsDir: *metricsDir}
+
+	var reg *upmgo.MetricsRegistry
+	var served string
+	if *metricsAddr != "" {
+		reg = upmgo.NewMetricsRegistry()
+		describeSweepGauges(reg)
+		r.MetricsRegistry = reg
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("-metrics-addr: %w", err)
+		}
+		served = ln.Addr().String()
+		srv := &http.Server{Handler: upmgo.MetricsHandler(reg)}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(stderr, "sweep: serving /metrics, /debug/vars and /debug/pprof/ on http://%s/\n", served)
+	}
+
+	var handlers []func(upmgo.SweepEvent)
+	if reg != nil {
+		handlers = append(handlers, func(ev upmgo.SweepEvent) { publishSweepEvent(reg, cache, ev) })
+	}
 	if !*quiet {
-		r.OnEvent = s.progressLine
+		handlers = append(handlers, s.progressLine)
+	}
+	if len(handlers) == 1 {
+		r.OnEvent = handlers[0]
+	} else if len(handlers) > 1 {
+		r.OnEvent = func(ev upmgo.SweepEvent) {
+			for _, h := range handlers {
+				h(ev)
+			}
+		}
 	}
 
 	t0 := time.Now()
@@ -171,6 +214,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	st := cache.Stats()
 	fmt.Fprintf(stderr, "sweep: %d cells simulated (%d forked from %d prefix snapshots), %d recalled from cache, done in %s (host time, -jobs %d)\n",
 		st.Misses, st.Forked, st.Prefixes, st.Hits, time.Since(t0).Round(time.Millisecond), njobs)
+	if *metricsDir != "" && len(s.cells) > 0 {
+		if err := s.writeLocality(*metricsDir); err != nil {
+			return fmt.Errorf("-metrics: %w", err)
+		}
+	}
+	if reg != nil {
+		metricsServed(served)
+	}
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		if err != nil {
@@ -183,6 +234,48 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// describeSweepGauges registers the sweep runner's own progress metrics
+// alongside the per-cell NUMA families the samplers publish.
+func describeSweepGauges(reg *upmgo.MetricsRegistry) {
+	reg.Describe("upmgo_sweep_cells_inflight", "gauge", "Cells currently simulating on the worker pool.")
+	reg.Describe("upmgo_sweep_cells_done", "counter", "Finished cells by outcome (simulated vs recalled from the memo cache).")
+	reg.Describe("upmgo_sweep_cells_forked", "gauge", "Cells whose cold start was forked from a shared prefix snapshot.")
+	reg.Describe("upmgo_sweep_prefix_snapshots", "gauge", "Distinct cold-start prefixes simulated and snapshotted.")
+}
+
+// publishSweepEvent keeps the sweep-runner gauges current. The runner
+// serializes OnEvent calls, and the registry locks internally, so the
+// scraping goroutine always sees a consistent snapshot.
+func publishSweepEvent(reg *upmgo.MetricsRegistry, cache *upmgo.SweepCache, ev upmgo.SweepEvent) {
+	if !ev.Done {
+		reg.Add("upmgo_sweep_cells_inflight", nil, 1)
+		return
+	}
+	reg.Add("upmgo_sweep_cells_inflight", nil, -1)
+	result := "simulated"
+	if ev.CacheHit {
+		result = "recalled"
+	}
+	reg.Add("upmgo_sweep_cells_done", upmgo.MetricsLabels{"result": result}, 1)
+	st := cache.Stats()
+	reg.Set("upmgo_sweep_cells_forked", nil, float64(st.Forked))
+	reg.Set("upmgo_sweep_prefix_snapshots", nil, float64(st.Prefixes))
+}
+
+// writeLocality renders the accumulated figure 1/4 cells' local:remote
+// access ratios into <dir>/locality.md (the EXPERIMENTS.md digest).
+func (s *sweeper) writeLocality(dir string) error {
+	f, err := os.Create(filepath.Join(dir, "locality.md"))
+	if err != nil {
+		return err
+	}
+	if err := upmgo.WriteLocalityTable(f, s.cells); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // progressLine renders finished cells as one live stderr line. The
@@ -227,6 +320,9 @@ func (s *sweeper) runFigure(ctx context.Context, r upmgo.SweepRunner, fig int, o
 		}
 		if err != nil {
 			return fmt.Errorf("figure %d: %w", fig, err)
+		}
+		if s.collect {
+			s.cells = append(s.cells, cells...)
 		}
 		if s.csv {
 			upmgo.WriteCellsCSV(s.out, cells)

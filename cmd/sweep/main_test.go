@@ -4,10 +4,14 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"upmgo"
 )
 
 func TestRunNothingSelected(t *testing.T) {
@@ -101,6 +105,112 @@ func TestRunProfileFlags(t *testing.T) {
 	bad := filepath.Join(dir, "no", "such", "dir", "cpu.prof")
 	if err := run([]string{"-table", "1", "-quiet", "-cpuprofile", bad}, &out, &errw); err == nil {
 		t.Error("unwritable -cpuprofile path did not fail")
+	}
+}
+
+// TestRunMetricsDir is the CLI-level acceptance check for -metrics:
+// `sweep -fig 1 -metrics dir` must drop the three export formats per
+// cell plus the locality.md digest, and each JSON series must load back
+// with one iteration sample per timed iteration.
+func TestRunMetricsDir(t *testing.T) {
+	dir := t.TempDir()
+	var out, errw bytes.Buffer
+	args := []string{"-fig", "1", "-class", "S", "-benches", "FT", "-threads", "1",
+		"-quiet", "-metrics", dir}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	series, err := filepath.Glob(filepath.Join(dir, "*.metrics.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 1 on one benchmark has eight cells: four placements, each
+	// with and without kernel migration.
+	if len(series) != 8 {
+		t.Fatalf("got %d metrics series, want 8: %v", len(series), series)
+	}
+	for _, path := range series {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		se, err := upmgo.ReadMetricsSeries(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s does not load: %v", filepath.Base(path), err)
+		}
+		var iters int
+		for _, sm := range se.Samples {
+			if sm.Kind == "iter" {
+				iters++
+			}
+		}
+		if iters == 0 || len(se.Heat) != iters {
+			t.Errorf("%s: %d iteration samples, %d heatmaps", filepath.Base(path), iters, len(se.Heat))
+		}
+		base := strings.TrimSuffix(path, ".metrics.json")
+		for _, sib := range []string{base + ".metrics.csv", base + ".prom"} {
+			if fi, err := os.Stat(sib); err != nil || fi.Size() == 0 {
+				t.Errorf("%s missing or empty (%v)", filepath.Base(sib), err)
+			}
+		}
+	}
+	loc, err := os.ReadFile(filepath.Join(dir, "locality.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"| Bench | Placement |", "IRIXmig", "| FT | wc |", ":1"} {
+		if !strings.Contains(string(loc), want) {
+			t.Errorf("locality.md lacks %q:\n%s", want, loc)
+		}
+	}
+}
+
+// TestRunMetricsAddr is the CLI-level acceptance check for the live
+// endpoint: while `sweep -fig 1 -metrics-addr` has its server up, a
+// scrape of /metrics must return well-formed Prometheus text carrying
+// both the sweep-runner gauges and the per-cell NUMA families.
+func TestRunMetricsAddr(t *testing.T) {
+	var body, ctype string
+	old := metricsServed
+	metricsServed = func(addr string) {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			t.Errorf("scrape: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Errorf("scrape: %v", err)
+			return
+		}
+		body, ctype = string(b), resp.Header.Get("Content-Type")
+	}
+	defer func() { metricsServed = old }()
+
+	var out, errw bytes.Buffer
+	args := []string{"-fig", "1", "-class", "S", "-benches", "FT", "-threads", "1",
+		"-quiet", "-metrics-addr", "127.0.0.1:0"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errw.String(), "serving /metrics") {
+		t.Error("stderr does not announce the metrics server")
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("scrape content type %q", ctype)
+	}
+	for _, want := range []string{
+		"# TYPE upmgo_sweep_cells_inflight gauge",
+		"upmgo_sweep_cells_inflight 0",
+		`upmgo_sweep_cells_done{result="simulated"} 8`,
+		"upmgo_page_residency{cell=",
+		`upmgo_refs{cell=`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape lacks %q:\n%s", want, body)
+		}
 	}
 }
 

@@ -10,6 +10,14 @@
 //	traceview -bench BT                            # ft baseline summary
 //	traceview -bench FT -placement wc -upm distribute
 //	traceview -bench SP -upm recrep -chrome sp.json # + Chrome trace dump
+//
+// The heatmap subcommand renders the per-page × node reference-counter
+// matrices captured by `sweep -metrics` (one per iteration) as ASCII
+// intensity rows — how each node's references concentrate and shift
+// across the hot pages as the migration engines act:
+//
+//	traceview heatmap -in out/bt-wc-upmlib-classS.metrics.json
+//	traceview heatmap -in cell.metrics.json -iter 3 -width 64
 package main
 
 import (
@@ -34,6 +42,9 @@ func main() {
 
 // run is main without the process exit, testable against any writers.
 func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) > 0 && args[0] == "heatmap" {
+		return runHeatmap(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("traceview", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	bench := fs.String("bench", "BT", "benchmark: BT, SP, CG, MG, FT (or LU, EP, IS)")
@@ -114,4 +125,119 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "traceview: wrote %s (%d events)\n", *chrome, len(events))
 	}
 	return nil
+}
+
+// heatRamp maps a bucket's share of the hottest bucket to a character,
+// dimmest to brightest.
+const heatRamp = " .:-=+*#%@"
+
+// runHeatmap renders the reference-counter heatmaps of a metrics series.
+func runHeatmap(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("traceview heatmap", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "metrics series to render (a .metrics.json from `sweep -metrics`)")
+	iter := fs.Int("iter", 0, "single iteration to render (0 = every captured iteration)")
+	width := fs.Int("width", 80, "heatmap columns; hot pages are bucketed to fit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	if *in == "" {
+		fs.Usage()
+		return errors.New("heatmap: -in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	se, err := upmgo.ReadMetricsSeries(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("%s: %w", *in, err)
+	}
+	if len(se.Heat) == 0 {
+		return fmt.Errorf("%s carries no heatmaps — capture with `sweep -metrics dir` or MetricsOptions{Heatmap: true}", *in)
+	}
+
+	cell := se.Cell
+	if cell == "" {
+		cell = *in
+	}
+	fmt.Fprintf(stdout, "%s: %d hot pages × %d nodes, %d iterations captured\n\n",
+		cell, se.HotPages, se.Nodes, len(se.Heat))
+	rendered := 0
+	for _, h := range se.Heat {
+		if *iter != 0 && h.Step != *iter {
+			continue
+		}
+		writeHeat(stdout, h, *width)
+		rendered++
+	}
+	if rendered == 0 {
+		return fmt.Errorf("no heatmap for iteration %d (series has steps 1..%d)", *iter, len(se.Heat))
+	}
+	return nil
+}
+
+// writeHeat prints one iteration's matrix: an intensity row per node
+// (each column aggregates a contiguous run of hot pages, scaled to the
+// hottest bucket of the iteration) and a closing row naming each
+// column's dominant node ('.' where no references landed).
+func writeHeat(w io.Writer, h upmgo.MetricsHeat, width int) {
+	cols := width
+	if cols < 1 {
+		cols = 1
+	}
+	if cols > h.Pages {
+		cols = h.Pages
+	}
+	sums := make([][]uint64, h.Nodes)
+	for n := range sums {
+		sums[n] = make([]uint64, cols)
+	}
+	for p := 0; p < h.Pages; p++ {
+		c := p * cols / h.Pages
+		for n := 0; n < h.Nodes; n++ {
+			sums[n][c] += uint64(h.Counts[p*h.Nodes+n])
+		}
+	}
+	var max uint64
+	for _, row := range sums {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	fmt.Fprintf(w, "iteration %d (column ≈ %d pages, ramp %q):\n",
+		h.Step, (h.Pages+cols-1)/cols, heatRamp)
+	for n, row := range sums {
+		line := make([]byte, cols)
+		for c, v := range row {
+			idx := 0
+			if max > 0 {
+				idx = int(v * uint64(len(heatRamp)-1) / max)
+			}
+			line[c] = heatRamp[idx]
+		}
+		fmt.Fprintf(w, "  node %d |%s|\n", n, line)
+	}
+	dom := make([]byte, cols)
+	for c := 0; c < cols; c++ {
+		best, bestN := uint64(0), -1
+		for n := range sums {
+			if sums[n][c] > best {
+				best, bestN = sums[n][c], n
+			}
+		}
+		if bestN < 0 {
+			dom[c] = '.'
+		} else {
+			dom[c] = byte('0' + bestN%10)
+		}
+	}
+	fmt.Fprintf(w, "  dom    |%s|\n\n", dom)
 }

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"upmgo"
 )
 
 func TestRunFlagErrors(t *testing.T) {
@@ -41,6 +43,102 @@ func TestRunSummary(t *testing.T) {
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("summary lacks %q:\n%s", want, text)
+		}
+	}
+}
+
+// writeSeries runs CG Class S with a sampler attached and dumps the
+// series JSON — the same artifact `sweep -metrics` drops per cell. (CG,
+// not FT: Class S FT fits in the L2 caches after warm-up, so its
+// steady-state counter heatmaps are legitimately all zero.)
+func writeSeries(t *testing.T, heatmap bool) string {
+	t.Helper()
+	s := upmgo.NewMetricsSampler(upmgo.MetricsOptions{Heatmap: heatmap, Cell: "cg-wc-test"})
+	cfg := upmgo.NASConfig{
+		Class:     upmgo.ClassS,
+		Placement: upmgo.WorstCase,
+		UPM:       upmgo.UPMDistribute,
+		Threads:   1,
+		Metrics:   s,
+	}
+	if _, err := upmgo.RunNAS("CG", cfg); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cg.metrics.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Series().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunHeatmap renders a freshly captured series and checks the
+// subcommand's geometry: a header naming the cell, one block per
+// iteration with one intensity row per node, and the dominant-node row.
+func TestRunHeatmap(t *testing.T) {
+	path := writeSeries(t, true)
+	var out, errw bytes.Buffer
+	if err := run([]string{"heatmap", "-in", path, "-width", "40"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "cg-wc-test:") || !strings.Contains(text, "iterations captured") {
+		t.Errorf("header missing:\n%s", text)
+	}
+	blocks := strings.Count(text, "iteration ")
+	nodeRows := strings.Count(text, "node 0 |")
+	domRows := strings.Count(text, "dom    |")
+	if blocks == 0 || nodeRows != blocks || domRows != blocks {
+		t.Errorf("got %d iteration blocks, %d node-0 rows, %d dom rows", blocks, nodeRows, domRows)
+	}
+	// Early iterations carry live counters, so at least one dominant row
+	// must name nodes. (Later rows may be all '.': once UPMlib freezes
+	// the pages, reference counting stops.)
+	populated := 0
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "dom    |"); ok {
+			if strings.Trim(rest, ".|") != "" {
+				populated++
+			}
+		}
+	}
+	if populated == 0 {
+		t.Errorf("every dominant row is empty:\n%s", text)
+	}
+
+	// -iter selects a single block.
+	out.Reset()
+	if err := run([]string{"heatmap", "-in", path, "-iter", "1"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "iteration "); got != 1 {
+		t.Errorf("-iter 1 rendered %d blocks", got)
+	}
+}
+
+// TestRunHeatmapErrors: bad invocations fail loudly rather than printing
+// an empty map.
+func TestRunHeatmapErrors(t *testing.T) {
+	withHeat := writeSeries(t, true)
+	without := writeSeries(t, false)
+	cases := [][]string{
+		{"heatmap"}, // -in required
+		{"heatmap", "-in", "/does/not/exist.json"},   // unreadable
+		{"heatmap", "-in", withHeat, "-iter", "999"}, // no such iteration
+		{"heatmap", "-in", without},                  // series captured no heatmaps
+		{"heatmap", "-in", withHeat, "stray"},        // stray positional
+		{"heatmap", "-nope"},                         // unknown flag
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if err := run(args, &out, &errw); err == nil {
+			t.Errorf("run(%v) succeeded, want an error", args)
 		}
 	}
 }

@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteLocalityTable renders the cells' local:remote main-memory access
+// ratios as a Markdown table: one row per (benchmark, placement), one
+// column per engine label. The split comes from the machine's cumulative
+// counters (L2 misses served by the page's home node vs remotely), the
+// ccNUMA locality measure of Wittmann & Hager (arXiv:1101.0093) — the
+// paper's convergence argument in one number: under UPMlib every
+// placement's ratio should approach first-touch's. Rows and columns keep
+// the cells' presentation order; overlapping cells (Figure 1 ⊂ Figure 4)
+// deduplicate to the last occurrence.
+func WriteLocalityTable(w io.Writer, cells []Cell) error {
+	type key struct{ bench, placement, engine string }
+	ratios := map[key]string{}
+	var rows []struct{ bench, placement string }
+	var engines []string
+	seenRow := map[string]bool{}
+	seenEng := map[string]bool{}
+	for _, c := range cells {
+		placement, engine := c.Label, "IRIX"
+		if i := strings.Index(c.Label, "-"); i >= 0 {
+			placement, engine = c.Label[:i], c.Label[i+1:]
+		}
+		local, remote := c.Result.Mach.LocalMem, c.Result.Mach.RemoteMem
+		ratio := "∞"
+		if remote > 0 {
+			ratio = fmt.Sprintf("%.2f:1", float64(local)/float64(remote))
+		}
+		ratios[key{c.Bench, placement, engine}] = ratio
+		if rk := c.Bench + "\x00" + placement; !seenRow[rk] {
+			seenRow[rk] = true
+			rows = append(rows, struct{ bench, placement string }{c.Bench, placement})
+		}
+		if !seenEng[engine] {
+			seenEng[engine] = true
+			engines = append(engines, engine)
+		}
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	var sb strings.Builder
+	sb.WriteString("| Bench | Placement |")
+	for _, e := range engines {
+		fmt.Fprintf(&sb, " %s |", e)
+	}
+	sb.WriteString("\n|---|---|")
+	for range engines {
+		sb.WriteString("---|")
+	}
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "| %s | %s |", r.bench, r.placement)
+		for _, e := range engines {
+			v := ratios[key{r.bench, r.placement, e}]
+			if v == "" {
+				v = "—"
+			}
+			fmt.Fprintf(&sb, " %s |", v)
+		}
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -11,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"upmgo/internal/metrics"
 	"upmgo/internal/nas"
 	"upmgo/internal/trace"
 )
@@ -83,6 +85,19 @@ type Runner struct {
 	// at Threads 1 — the snapshot invariant proven in internal/nas); the
 	// flag exists as a bisection escape hatch, like nas's ScalarRuns.
 	NoFork bool
+	// MetricsDir, when non-empty, attaches a fresh metrics.Sampler (with
+	// per-iteration heatmaps) to every cell and writes its virtual-time
+	// series into the directory as <bench>-<label>-class<C>.metrics.json
+	// / .metrics.csv / .prom. Sampled configs are never memoizable (see
+	// nas.Config.Fingerprint), so every cell simulates fresh, bypassing
+	// the Cache and the prefix snapshots.
+	MetricsDir string
+	// MetricsRegistry, when non-nil, attaches a sampler to every cell
+	// that publishes the cell's latest iteration sample as live labelled
+	// gauges (page residency per node, local/remote refs, migrations) —
+	// the data behind cmd/sweep's -metrics-addr endpoint. Like
+	// MetricsDir, it disables memoization for the batch.
+	MetricsRegistry *metrics.Registry
 }
 
 // Cells runs one batch of cell specs and returns their cells in spec
@@ -185,6 +200,13 @@ func (r Runner) runCell(ctx context.Context, spec CellSpec) (Cell, bool, error) 
 	if r.TraceDir != "" {
 		spec.Config.Tracer = trace.NewRecorder()
 	}
+	if r.MetricsDir != "" || r.MetricsRegistry != nil {
+		spec.Config.Metrics = metrics.NewSampler(metrics.Options{
+			Heatmap:  r.MetricsDir != "",
+			Registry: r.MetricsRegistry,
+			Cell:     cellBase(spec),
+		})
+	}
 	if r.Cache != nil {
 		if key, ok := spec.Key(); ok {
 			sim := func() (Cell, error) { return run(spec.Bench, spec.Config) }
@@ -199,6 +221,9 @@ func (r Runner) runCell(ctx context.Context, spec CellSpec) (Cell, bool, error) 
 	c, err := run(spec.Bench, spec.Config)
 	if err == nil && r.TraceDir != "" {
 		err = r.writeTrace(spec, spec.Config.Tracer.(*trace.Recorder))
+	}
+	if err == nil && r.MetricsDir != "" {
+		err = r.writeMetrics(spec, spec.Config.Metrics)
 	}
 	return c, false, err
 }
@@ -229,16 +254,23 @@ func (r Runner) forkCell(ctx context.Context, spec CellSpec, pkey string) (Cell,
 	return Cell{Bench: spec.Bench, Label: res.Label, Result: res}, nil
 }
 
-// writeTrace dumps one traced cell's Chrome trace and text summary.
-func (r Runner) writeTrace(spec CellSpec, rec *trace.Recorder) error {
-	if err := os.MkdirAll(r.TraceDir, 0o755); err != nil {
-		return err
-	}
+// cellBase is a cell's canonical file/label stem, shared by the trace
+// and metrics writers: "<bench>-<label>-class<C>[-x<scale>]".
+func cellBase(spec CellSpec) string {
 	base := fmt.Sprintf("%s-%s-class%s", strings.ToLower(spec.Bench),
 		spec.Config.Label(), spec.Config.Class)
 	if spec.Config.ComputeScale > 1 {
 		base += fmt.Sprintf("-x%d", spec.Config.ComputeScale)
 	}
+	return base
+}
+
+// writeTrace dumps one traced cell's Chrome trace and text summary.
+func (r Runner) writeTrace(spec CellSpec, rec *trace.Recorder) error {
+	if err := os.MkdirAll(r.TraceDir, 0o755); err != nil {
+		return err
+	}
+	base := cellBase(spec)
 	events := rec.Events()
 
 	tf, err := os.Create(filepath.Join(r.TraceDir, base+".trace.json"))
@@ -259,6 +291,35 @@ func (r Runner) writeTrace(spec CellSpec, rec *trace.Recorder) error {
 	}
 	trace.WriteSummary(sf, trace.Summarize(events))
 	return sf.Close()
+}
+
+// writeMetrics dumps one sampled cell's time series in all three export
+// formats: the JSON interchange form (heatmaps included), a flat CSV,
+// and a Prometheus text snapshot of the final sample.
+func (r Runner) writeMetrics(spec CellSpec, s *metrics.Sampler) error {
+	if err := os.MkdirAll(r.MetricsDir, 0o755); err != nil {
+		return err
+	}
+	se := s.Series()
+	base := cellBase(spec)
+	for ext, write := range map[string]func(io.Writer) error{
+		".metrics.json": se.WriteJSON,
+		".metrics.csv":  se.WriteCSV,
+		".prom":         se.WritePrometheus,
+	} {
+		f, err := os.Create(filepath.Join(r.MetricsDir, base+ext))
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Figure1 runs the paper's Figure 1 sweep (see Figure1Specs) on the pool.

@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteJSON renders the full series (samples plus any heatmaps) as
+// indented JSON — the interchange format consumed by `traceview heatmap`
+// and `pagemap -from`.
+func (s Series) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s)
+}
+
+// ReadSeries parses a series previously written by WriteJSON.
+func ReadSeries(r io.Reader) (Series, error) {
+	var s Series
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return Series{}, fmt.Errorf("metrics: decoding series: %w", err)
+	}
+	return s, nil
+}
+
+// WriteCSV renders one row per sample for spreadsheet plotting. The
+// per-node columns (res<N>, refs<N>) widen with the machine's node
+// count; the header names them explicitly.
+func (s Series) WriteCSV(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("step,kind,time_ps,iter_ps,local_refs,remote_refs,mach_local,mach_remote," +
+		"migrations,faults,collapses,upm_moves,replay_moves,undo_moves,kmig_scans,kmig_moves," +
+		"shootdown_rounds,frozen_pages,replicated_pages,barriers,barrier_imbalance_ps")
+	for n := 0; n < s.Nodes; n++ {
+		fmt.Fprintf(&sb, ",res%d", n)
+	}
+	for n := 0; n < s.Nodes; n++ {
+		fmt.Fprintf(&sb, ",refs%d", n)
+	}
+	sb.WriteByte('\n')
+	for _, sm := range s.Samples {
+		var rounds int64
+		for _, v := range sm.Shootdowns {
+			rounds += v
+		}
+		fmt.Fprintf(&sb, "%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d",
+			sm.Step, sm.Kind, sm.TimePS, sm.IterPS, sm.LocalRefs, sm.RemoteRefs,
+			sm.MachLocal, sm.MachRemote, sm.Migrations, sm.Faults, sm.Collapses,
+			sm.UPMMoves, sm.ReplayMoves, sm.UndoMoves, sm.KmigScans, sm.KmigMoves,
+			rounds, sm.FrozenPages, sm.ReplicaPages, sm.Barriers, sm.BarrierImbalancePS)
+		for n := 0; n < s.Nodes; n++ {
+			v := int64(0)
+			if n < len(sm.Residency) {
+				v = sm.Residency[n]
+			}
+			fmt.Fprintf(&sb, ",%d", v)
+		}
+		for n := 0; n < s.Nodes; n++ {
+			v := uint64(0)
+			if n < len(sm.NodeRefs) {
+				v = sm.NodeRefs[n]
+			}
+			fmt.Fprintf(&sb, ",%d", v)
+		}
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WritePrometheus renders the series' final state as a Prometheus text
+// snapshot — the same families a live Registry would expose for this
+// cell, frozen at the last sample.
+func (s Series) WritePrometheus(w io.Writer) error {
+	if len(s.Samples) == 0 {
+		return nil
+	}
+	reg := NewRegistry()
+	describe(reg)
+	publish(reg, s.Cell, s.Samples[len(s.Samples)-1])
+	return reg.WriteText(w)
+}
+
+// describe registers the sampler's metric families with their metadata.
+func describe(reg *Registry) {
+	reg.Describe("upmgo_page_residency", "gauge", "pages resident per node")
+	reg.Describe("upmgo_hot_refs", "gauge", "hardware reference-counter refs to hot pages per accessing node (since last engine reset)")
+	reg.Describe("upmgo_refs", "gauge", "hot-page reference-counter refs split by locality of the accessing node")
+	reg.Describe("upmgo_mem_accesses", "counter", "cumulative main-memory accesses split local/remote")
+	reg.Describe("upmgo_page_migrations", "counter", "cumulative successful page migrations")
+	reg.Describe("upmgo_page_faults", "counter", "cumulative first-touch page faults")
+	reg.Describe("upmgo_replica_collapses", "counter", "cumulative replica collapses on write")
+	reg.Describe("upmgo_shootdown_rounds", "counter", "cumulative TLB shootdown rounds by payer")
+	reg.Describe("upmgo_barrier_imbalance_ps", "counter", "cumulative barrier arrival spread in picoseconds")
+	reg.Describe("upmgo_iteration", "gauge", "latest sampled timed-loop iteration")
+}
+
+// publish pushes one sample's values into the registry as labelled
+// gauges, labelling every series with the cell name when set.
+func publish(reg *Registry, cell string, sm Sample) {
+	lbl := func(extra Labels) Labels {
+		l := Labels{}
+		if cell != "" {
+			l["cell"] = cell
+		}
+		for k, v := range extra {
+			l[k] = v
+		}
+		return l
+	}
+	for n, v := range sm.Residency {
+		reg.Set("upmgo_page_residency", lbl(Labels{"node": strconv.Itoa(n)}), float64(v))
+	}
+	for n, v := range sm.NodeRefs {
+		reg.Set("upmgo_hot_refs", lbl(Labels{"node": strconv.Itoa(n)}), float64(v))
+	}
+	reg.Set("upmgo_refs", lbl(Labels{"kind": "local"}), float64(sm.LocalRefs))
+	reg.Set("upmgo_refs", lbl(Labels{"kind": "remote"}), float64(sm.RemoteRefs))
+	reg.Set("upmgo_mem_accesses", lbl(Labels{"kind": "local"}), float64(sm.MachLocal))
+	reg.Set("upmgo_mem_accesses", lbl(Labels{"kind": "remote"}), float64(sm.MachRemote))
+	reg.Set("upmgo_page_migrations", lbl(nil), float64(sm.Migrations))
+	reg.Set("upmgo_page_faults", lbl(nil), float64(sm.Faults))
+	reg.Set("upmgo_replica_collapses", lbl(nil), float64(sm.Collapses))
+	reg.Set("upmgo_barrier_imbalance_ps", lbl(nil), float64(sm.BarrierImbalancePS))
+	reg.Set("upmgo_iteration", lbl(nil), float64(sm.Step))
+	for payer, v := range sm.Shootdowns {
+		reg.Set("upmgo_shootdown_rounds", lbl(Labels{"payer": payer}), float64(v))
+	}
+}

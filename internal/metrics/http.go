@@ -1,0 +1,37 @@
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the live observability endpoint served by
+// `cmd/sweep -metrics-addr`: the registry in Prometheus text format at
+// /metrics, the process expvar JSON at /debug/vars, and the standard
+// net/http/pprof profiles under /debug/pprof/ — everything a
+// long-running sweep service needs, from the standard library alone.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, `<html><body><h1>upmgo sweep</h1><ul>
+<li><a href="/metrics">/metrics</a> — Prometheus text exposition</li>
+<li><a href="/debug/vars">/debug/vars</a> — expvar</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — pprof profiles</li>
+</ul></body></html>`)
+	})
+	return mux
+}

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Labels name one series within a metric family. A nil map is the
+// unlabelled series.
+type Labels map[string]string
+
+// key renders the labels in canonical Prometheus form — sorted names,
+// escaped values — so equal label sets always address the same series.
+func (l Labels) key() string {
+	if len(l) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(l))
+	for k := range l {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l[k]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabel applies the Prometheus text-format label escapes.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// family is one metric name with its metadata and series.
+type family struct {
+	typ  string // "gauge" or "counter"
+	help string
+	vals map[string]float64 // rendered label set -> value
+}
+
+// Registry is a hand-rolled Prometheus-style metric registry: labelled
+// gauge/counter families with deterministic text exposition. It exists
+// because the repository takes no external dependencies; the exposition
+// format is the stable v0.0.4 text format every scraper accepts.
+// The zero value is not ready; use NewRegistry. All methods are safe
+// for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Describe sets a family's type ("gauge" or "counter") and help text.
+// Families Set without a Describe default to type gauge with no help.
+func (r *Registry) Describe(name, typ, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name)
+	f.typ, f.help = typ, help
+}
+
+// Set stores the value of the series (name, labels).
+func (r *Registry) Set(name string, labels Labels, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.family(name).vals[labels.key()] = v
+}
+
+// Add increments the series (name, labels) by dv, creating it at dv.
+func (r *Registry) Add(name string, labels Labels, dv float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.family(name).vals[labels.key()] += dv
+}
+
+// family returns the named family, creating a gauge; caller holds r.mu.
+func (r *Registry) family(name string) *family {
+	f := r.families[name]
+	if f == nil {
+		f = &family{typ: "gauge", vals: map[string]float64{}}
+		r.families[name] = f
+	}
+	return f
+}
+
+// WriteText renders the registry in the Prometheus text exposition
+// format (v0.0.4): families sorted by name, series sorted by label set,
+// so the output is byte-deterministic for a given state.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, n := range names {
+		f := r.families[n]
+		if f.help != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", n, f.help)
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", n, f.typ)
+		keys := make([]string, 0, len(f.vals))
+		for k := range f.vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "%s%s %v\n", n, k, f.vals[k])
+		}
+	}
+	r.mu.Unlock()
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// ServeHTTP serves the registry as a Prometheus scrape target.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WriteText(w)
+}

@@ -10,6 +10,7 @@ import (
 
 	"upmgo/internal/kmig"
 	"upmgo/internal/machine"
+	"upmgo/internal/metrics"
 	"upmgo/internal/omp"
 	"upmgo/internal/trace"
 	"upmgo/internal/upm"
@@ -183,6 +184,15 @@ type Config struct {
 	// engine actions). Tracing never charges virtual time, so a traced
 	// run's numbers are bit-identical to the same config untraced.
 	Tracer trace.Tracer
+	// Metrics, when non-nil, samples the run's NUMA locality state at
+	// every iteration mark and marked-phase boundary: per-node page
+	// residency, the reference-counter rows (read before the engine
+	// invocation that resets them), migrations, shootdown rounds,
+	// replica collapses and barrier imbalance. Like Tracer it is
+	// observation-only — a sampled run is bit-identical in virtual time
+	// to an unsampled one — and like Tracer it makes the config
+	// unfingerprintable, so the sweep cache never serves stale metrics.
+	Metrics *metrics.Sampler
 	// SkipVerify skips the numerical check (benchmarks that time very
 	// few iterations on purpose may not converge).
 	SkipVerify bool
@@ -195,12 +205,13 @@ type Config struct {
 // (ComputeScale 0 and 1 deliberately collide). Iterations 0 means "class
 // default" and is kept distinct from an explicit equal count — that is
 // conservative (two cache entries) but never wrong. The second result is
-// false when the config cannot be canonically encoded (a Tweak function
-// or a Tracer is set — a tracer's identity is a pointer, and serving a
-// traced run from a cache would silently drop its events) and therefore
-// must not be memoized.
+// false when the config cannot be canonically encoded (a Tweak function,
+// a Tracer or a Metrics sampler is set — a tracer's or sampler's
+// identity is a pointer, and serving such a run from a cache would
+// silently drop its events or return stale metrics) and therefore must
+// not be memoized.
 func (c Config) Fingerprint() (string, bool) {
-	if c.Tweak != nil || c.Tracer != nil {
+	if c.Tweak != nil || c.Tracer != nil || c.Metrics != nil {
 		return "", false
 	}
 	if c.ComputeScale < 1 {
@@ -220,10 +231,11 @@ func (c Config) Fingerprint() (string, bool) {
 // act only after the divergence point and are deliberately absent. The
 // second result is false when the prefix cannot be canonically encoded,
 // for the same reasons as Fingerprint: a Tweak function has no canonical
-// encoding, and forking a traced prefix would replay its cold-start
-// events into the wrong stream.
+// encoding, forking a traced prefix would replay its cold-start events
+// into the wrong stream, and a sampled prefix would feed one sampler
+// from many forks.
 func (c Config) PrefixFingerprint() (string, bool) {
-	if c.Tweak != nil || c.Tracer != nil {
+	if c.Tweak != nil || c.Tracer != nil || c.Metrics != nil {
 		return "", false
 	}
 	scale := c.ComputeScale
@@ -232,6 +244,21 @@ func (c Config) PrefixFingerprint() (string, bool) {
 	}
 	return fmt.Sprintf("prefix\x00class=%v placement=%v seed=%d scale=%d threads=%d",
 		c.Class, c.Placement, c.Seed, scale, c.Threads), true
+}
+
+// tracer returns the effective event sink: the user's Tracer, the
+// Metrics sampler (which aggregates the same stream), or a tee of both.
+// Built here rather than with trace.Tee directly so a nil *Sampler never
+// becomes a non-nil Tracer interface.
+func (c Config) tracer() trace.Tracer {
+	switch {
+	case c.Metrics != nil && c.Tracer != nil:
+		return trace.Tee(c.Tracer, c.Metrics)
+	case c.Metrics != nil:
+		return c.Metrics
+	default:
+		return c.Tracer
+	}
 }
 
 // Label renders the paper's bar labels, e.g. "rr-IRIXmig" or "ft-upmlib".
@@ -319,7 +346,9 @@ func runPrefix(build Builder, cfg Config) (*machine.Machine, Kernel, *omp.Team, 
 		return nil, nil, nil, err
 	}
 	// Attach before the cold start so first-touch faults are in the trace.
-	m.SetTracer(cfg.Tracer)
+	// The effective tracer tees the user's Tracer with the Metrics
+	// sampler, so both observe every machine- and engine-level emission.
+	m.SetTracer(cfg.tracer())
 	scale := cfg.ComputeScale
 	if scale < 1 {
 		scale = 1
@@ -382,16 +411,30 @@ func runMain(m *machine.Machine, k Kernel, team *omp.Team, cfg Config) (Result, 
 	if niter == 0 {
 		niter = k.DefaultIterations()
 	}
+	// Arm the sampler at the head of the timed loop: the baseline sample
+	// records the post-reset state every engine starts from, and event
+	// tallies from the untimed cold start are discarded.
+	if cfg.Metrics != nil {
+		cfg.Metrics.Start(m, k.HotPages(), master.Now())
+	}
+	trc := cfg.tracer()
 	start := master.Now()
 	reactivated := false
 	for step := 1; step <= niter; step++ {
 		iterStart := master.Now()
-		if cfg.Tracer != nil {
-			cfg.Tracer.Emit(trace.Event{Time: iterStart, CPU: master.ID,
+		if trc != nil {
+			trc.Emit(trace.Event{Time: iterStart, CPU: master.ID,
 				Kind: trace.EvIterStart, Arg0: int64(step)})
 		}
 		hooks := stepHooks(u, cfg.UPM, step)
 		k.Step(team, hooks)
+		// Sample between the step's compute and the engine invocation:
+		// this is the last point where the reference-counter rows hold
+		// the iteration's accumulated refs (MigrateMemory resets the
+		// rows it scans).
+		if cfg.Metrics != nil {
+			cfg.Metrics.SampleIteration(step, master.Now())
+		}
 		switch cfg.UPM {
 		case UPMDistribute:
 			// Figure 2: invoke after step 1 and then for as long as
@@ -408,8 +451,8 @@ func runMain(m *machine.Machine, k Kernel, team *omp.Team, cfg Config) (Result, 
 				u.MigrateMemory(master)
 			}
 		}
-		if cfg.Tracer != nil {
-			cfg.Tracer.Emit(trace.Event{Time: master.Now(), CPU: master.ID,
+		if trc != nil {
+			trc.Emit(trace.Event{Time: master.Now(), CPU: master.ID,
 				Kind: trace.EvIterEnd, Arg0: int64(step), Arg1: master.Now() - iterStart})
 		}
 		res.IterPS = append(res.IterPS, master.Now()-iterStart)

@@ -28,13 +28,14 @@ type Prefix struct {
 
 // RunPrefix simulates the engine-independent prefix of cfg once and
 // returns it as a reusable checkpoint. Configs that cannot be canonically
-// keyed (a Tweak function or a Tracer — see Config.PrefixFingerprint) are
-// rejected: forks must be provably interchangeable with from-scratch
-// runs, and those fields break the equivalence.
+// keyed (a Tweak function, a Tracer or a Metrics sampler — see
+// Config.PrefixFingerprint) are rejected: forks must be provably
+// interchangeable with from-scratch runs, and those fields break the
+// equivalence.
 func RunPrefix(build Builder, cfg Config) (*Prefix, error) {
 	key, ok := cfg.PrefixFingerprint()
 	if !ok {
-		return nil, fmt.Errorf("nas: config with a Tweak or Tracer cannot be snapshotted")
+		return nil, fmt.Errorf("nas: config with a Tweak, Tracer or Metrics cannot be snapshotted")
 	}
 	m, _, _, err := runPrefix(build, cfg)
 	if err != nil {
@@ -58,7 +59,7 @@ func (p *Prefix) Key() string { return p.key }
 func (p *Prefix) RunFromSnapshot(cfg Config) (Result, error) {
 	key, ok := cfg.PrefixFingerprint()
 	if !ok {
-		return Result{}, fmt.Errorf("nas: config with a Tweak or Tracer cannot fork a snapshot")
+		return Result{}, fmt.Errorf("nas: config with a Tweak, Tracer or Metrics cannot fork a snapshot")
 	}
 	if key != p.key {
 		return Result{}, fmt.Errorf("nas: config prefix %q does not match snapshot prefix %q", key, p.key)

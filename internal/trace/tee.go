@@ -1,0 +1,35 @@
+package trace
+
+// tee fans one event stream out to several tracers in order.
+type tee []Tracer
+
+// Emit forwards the event to every branch. Sequence stamping stays the
+// receiving tracer's job (a Recorder stamps its own lanes), so the same
+// event value reaches each branch unmodified.
+func (t tee) Emit(ev Event) {
+	for _, tr := range t {
+		tr.Emit(ev)
+	}
+}
+
+// Tee combines tracers into one: every emitted event reaches each of
+// them, in argument order. Nil interface values are skipped; zero or one
+// live tracer collapses to nil or the tracer itself, preserving the
+// nil-check-cheap fast path at every emission site. Callers holding
+// concrete pointer types must pass nil interfaces, not typed nil
+// pointers (the usual Go interface caveat).
+func Tee(tracers ...Tracer) Tracer {
+	var live tee
+	for _, tr := range tracers {
+		if tr != nil {
+			live = append(live, tr)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}

@@ -1,0 +1,46 @@
+package trace
+
+import "testing"
+
+// TestTee checks the fan-out and its collapsing constructor: nil
+// branches are dropped, zero live tracers collapse to nil (preserving
+// the nil-check fast path at emission sites), a single live tracer is
+// returned as itself, and a real tee delivers every event to every
+// branch in order.
+func TestTee(t *testing.T) {
+	if got := Tee(); got != nil {
+		t.Errorf("Tee() = %v, want nil", got)
+	}
+	if got := Tee(nil, nil); got != nil {
+		t.Errorf("Tee(nil, nil) = %v, want nil", got)
+	}
+	solo := NewRecorder()
+	if got := Tee(nil, solo, nil); got != Tracer(solo) {
+		t.Errorf("Tee with one live branch = %v, want the branch itself", got)
+	}
+
+	a, b := NewRecorder(), NewRecorder()
+	tr := Tee(a, nil, b)
+	if tr == nil {
+		t.Fatal("Tee with two live branches collapsed to nil")
+	}
+	events := []Event{
+		{Kind: EvIterStart, Time: 10, CPU: 0, Arg0: 1},
+		{Kind: EvPageFault, Time: 20, CPU: 1, Name: "vpn"},
+		{Kind: EvIterEnd, Time: 30, CPU: 0, Arg0: 1},
+	}
+	for _, ev := range events {
+		tr.Emit(ev)
+	}
+	for name, rec := range map[string]*Recorder{"a": a, "b": b} {
+		got := rec.Events()
+		if len(got) != len(events) {
+			t.Fatalf("branch %s saw %d events, want %d", name, len(got), len(events))
+		}
+		for i, ev := range got {
+			if ev.Kind != events[i].Kind || ev.Time != events[i].Time || ev.Name != events[i].Name {
+				t.Errorf("branch %s event %d = %+v, want %+v", name, i, ev, events[i])
+			}
+		}
+	}
+}

@@ -32,11 +32,13 @@ package upmgo
 import (
 	"fmt"
 	"io"
+	"net/http"
 
 	"upmgo/internal/exp"
 	"upmgo/internal/kmig"
 	"upmgo/internal/machine"
 	"upmgo/internal/memsys"
+	"upmgo/internal/metrics"
 	"upmgo/internal/nas"
 	"upmgo/internal/omp"
 	"upmgo/internal/trace"
@@ -256,6 +258,59 @@ func SummarizeTrace(events []TraceEvent) TraceSummary { return trace.Summarize(e
 // WriteTraceSummary renders a summary as text: the per-phase virtual-time
 // breakdown, engine counters, and the per-iteration table.
 func WriteTraceSummary(w io.Writer, s TraceSummary) { trace.WriteSummary(w, s) }
+
+// NUMA locality metrics. Set NASConfig.Metrics (or SweepRunner's
+// MetricsDir / MetricsRegistry) to sample, at every iteration mark and
+// marked-phase boundary, per-node page residency, local vs remote access
+// counts from the hardware reference-counter rows, migrations, TLB
+// shootdown rounds, replica collapses and barrier-imbalance picoseconds.
+// Sampling never charges virtual time — a sampled run is bit-identical
+// in virtual time to the same run unsampled — and sampled configs are
+// never memoized by a SweepCache.
+type (
+	// MetricsSampler collects a MetricsSeries from one NAS run.
+	MetricsSampler = metrics.Sampler
+	// MetricsOptions configures a sampler (heatmap capture, live
+	// registry publication, cell label).
+	MetricsOptions = metrics.Options
+	// MetricsSeries is a completed sampler's time series, exportable as
+	// JSON, CSV or Prometheus text.
+	MetricsSeries = metrics.Series
+	// MetricsSample is one snapshot within a series.
+	MetricsSample = metrics.Sample
+	// MetricsHeat is one iteration's hot-page × node reference-counter
+	// matrix (rendered by `traceview heatmap` and `pagemap -from`).
+	MetricsHeat = metrics.Heat
+	// MetricsRegistry is a labelled gauge/counter registry with
+	// Prometheus text exposition, backing the live -metrics-addr
+	// endpoint of cmd/sweep.
+	MetricsRegistry = metrics.Registry
+	// MetricsLabels name one series within a registry family.
+	MetricsLabels = metrics.Labels
+)
+
+// NewMetricsSampler returns an idle sampler; attach it via
+// NASConfig.Metrics and read its Series after the run.
+func NewMetricsSampler(opt MetricsOptions) *MetricsSampler { return metrics.NewSampler(opt) }
+
+// NewMetricsRegistry returns an empty metric registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// MetricsHandler returns the combined observability endpoint for a
+// registry: Prometheus text at /metrics, expvar at /debug/vars and the
+// net/http/pprof profiles under /debug/pprof/.
+func MetricsHandler(r *MetricsRegistry) http.Handler { return metrics.Handler(r) }
+
+// ReadMetricsSeries parses a series written by MetricsSeries.WriteJSON
+// (the .metrics.json files of `sweep -metrics`).
+func ReadMetricsSeries(r io.Reader) (MetricsSeries, error) { return metrics.ReadSeries(r) }
+
+// WriteLocalityTable renders Figure 1/4 cells' local:remote main-memory
+// access ratios as a Markdown table (benchmark × placement rows, engine
+// columns) — the locality-convergence digest behind EXPERIMENTS.md.
+func WriteLocalityTable(w io.Writer, cells []ExperimentCell) error {
+	return exp.WriteLocalityTable(w, cells)
+}
 
 // Experiment harness — the paper's tables and figures.
 type (

@@ -5,8 +5,11 @@
 package upmgo_test
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"io"
+	"net/http/httptest"
 	"reflect"
 	"strings"
 	"testing"
@@ -140,6 +143,76 @@ func TestPublicSweepRunnerWithCache(t *testing.T) {
 	}
 	if !reflect.DeepEqual(first, again) {
 		t.Error("cached sweep differs from the original")
+	}
+}
+
+// TestPublicMetrics drives the whole observability surface through the
+// facade: sample a NAS run, export the series, publish to a registry,
+// scrape it over HTTP, and render the locality table from sweep cells.
+func TestPublicMetrics(t *testing.T) {
+	reg := upmgo.NewMetricsRegistry()
+	s := upmgo.NewMetricsSampler(upmgo.MetricsOptions{Heatmap: true, Registry: reg, Cell: "cg-wc"})
+	res, err := upmgo.RunNAS("CG", upmgo.NASConfig{
+		Class:     upmgo.ClassS,
+		Placement: upmgo.WorstCase,
+		UPM:       upmgo.UPMDistribute,
+		Threads:   1,
+		Metrics:   s,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := s.Series()
+	var iters int
+	for _, sm := range se.Samples {
+		if sm.Kind == "iter" {
+			iters++
+		}
+	}
+	if iters != len(res.IterPS) || len(se.Heat) != iters {
+		t.Fatalf("series has %d iteration samples and %d heatmaps, want %d of each",
+			iters, len(se.Heat), len(res.IterPS))
+	}
+	var buf bytes.Buffer
+	if err := se.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := upmgo.ReadMetricsSeries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(se, back) {
+		t.Error("series JSON roundtrip not lossless through the facade")
+	}
+
+	srv := httptest.NewServer(upmgo.MetricsHandler(reg))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `upmgo_page_residency{cell="cg-wc",node="0"}`) {
+		t.Errorf("/metrics lacks the published residency:\n%s", body)
+	}
+
+	cells, err := upmgo.SweepRunner{Jobs: 2}.Figure1(context.Background(),
+		upmgo.SweepOptions{Class: upmgo.ClassS, Benches: []string{"CG"}, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := upmgo.WriteLocalityTable(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"| Bench | Placement |", "| CG | wc |", "IRIXmig", ":1"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("locality table lacks %q:\n%s", want, buf.String())
+		}
 	}
 }
 
