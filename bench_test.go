@@ -132,6 +132,31 @@ func BenchmarkSweepFigure4All(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepClassWSteady measures what the steady-state fast-forward
+// buys at the paper-scale class: SP's full Figure 4 column (12 cells) at
+// Class W, simulated in full versus detected-and-extrapolated. Both
+// variants share cold-start prefixes and the tail-verify cache through
+// the sweep cache; the pair is tracked in BENCH_host.json, where
+// steady/plain is the fast-forward's end-to-end win.
+func BenchmarkSweepClassWSteady(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		steady bool
+	}{{"plain", false}, {"steady", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := upmgo.SweepRunner{Cache: upmgo.NewSweepCache()}
+				if _, err := r.Figure4(context.Background(), upmgo.SweepOptions{
+					Class: upmgo.ClassW, Benches: []string{"SP"}, Seed: benchSeed,
+					Steady: mode.steady, Extrapolate: true,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTable2Stats regenerates Table 2 and reports the worst tail
 // slowdown across benchmarks and placements (paper: <= 2.7%).
 func BenchmarkTable2Stats(b *testing.B) {

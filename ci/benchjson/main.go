@@ -77,6 +77,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	out := fs.String("o", "", "output file (default stdout); an existing report's snapshot moves into history")
 	compare := fs.String("compare", "", "compare the fresh run against this baseline report instead of writing one")
 	tolerance := fs.Float64("tolerance", 10, "with -compare: fail on slowdowns above this percentage")
+	tols := tolerances{}
+	fs.Var(tols, "tol", "with -compare: per-benchmark tolerance override, name=percent (repeatable; exact full name, e.g. -tol 'BenchmarkSweepFigure4All/fork=25')")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,7 +96,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 
 	if *compare != "" {
-		return compareReport(*compare, benches, *tolerance, stdout)
+		return compareReport(*compare, benches, *tolerance, tols, stdout)
 	}
 
 	host, _ := os.Hostname()
@@ -148,12 +150,38 @@ func readReport(path string) (report, error) {
 	return r, nil
 }
 
+// tolerances is the repeatable -tol flag: per-benchmark overrides of the
+// default regression tolerance, keyed by the exact full benchmark name.
+type tolerances map[string]float64
+
+func (t tolerances) String() string {
+	var parts []string
+	for _, n := range sortedNames(t) {
+		parts = append(parts, fmt.Sprintf("%s=%g", n, t[n]))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (t tolerances) Set(s string) error {
+	name, pct, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=percent, got %q", s)
+	}
+	v, err := strconv.ParseFloat(pct, 64)
+	if err != nil {
+		return fmt.Errorf("bad percentage in %q: %w", s, err)
+	}
+	t[name] = v
+	return nil
+}
+
 // compareReport diffs a fresh run against the baseline: one line per
 // benchmark with the percentage delta, and an error naming every
-// benchmark that slowed down beyond the tolerance. Benchmarks missing
-// from either side are reported but never fail the gate — host benches
-// come and go with the suite.
-func compareReport(path string, fresh map[string]float64, tolerance float64, stdout io.Writer) error {
+// benchmark that slowed down beyond its tolerance (a per-benchmark
+// override from -tol, else the default). Benchmarks missing from either
+// side are reported but never fail the gate — host benches come and go
+// with the suite.
+func compareReport(path string, fresh map[string]float64, tolerance float64, tols tolerances, stdout io.Writer) error {
 	base, err := readReport(path)
 	if err != nil {
 		return err
@@ -162,7 +190,7 @@ func compareReport(path string, fresh map[string]float64, tolerance float64, std
 		return fmt.Errorf("%s holds no benchmarks", path)
 	}
 	var regressed []string
-	fmt.Fprintf(stdout, "benchjson: fresh run vs %s (%s, ±%.0f%% tolerance)\n", path, base.Date, tolerance)
+	fmt.Fprintf(stdout, "benchjson: fresh run vs %s (%s, ±%.0f%% default tolerance)\n", path, base.Date, tolerance)
 	for _, n := range sortedNames(base.Benchmarks) {
 		was := base.Benchmarks[n]
 		now, ok := fresh[n]
@@ -170,11 +198,15 @@ func compareReport(path string, fresh map[string]float64, tolerance float64, std
 			fmt.Fprintf(stdout, "  %-50s %14.0f ns/op -> (not run)\n", n, was)
 			continue
 		}
+		tol := tolerance
+		if t, ok := tols[n]; ok {
+			tol = t
+		}
 		delta := 100 * (now - was) / was
 		verdict := "ok"
-		if delta > tolerance {
-			verdict = "REGRESSED"
-			regressed = append(regressed, fmt.Sprintf("%s %+.1f%%", n, delta))
+		if delta > tol {
+			verdict = fmt.Sprintf("REGRESSED (>%g%%)", tol)
+			regressed = append(regressed, fmt.Sprintf("%s %+.1f%% (tolerance %g%%)", n, delta, tol))
 		}
 		fmt.Fprintf(stdout, "  %-50s %14.0f -> %14.0f ns/op  %+6.1f%%  %s\n", n, was, now, delta, verdict)
 	}
@@ -184,8 +216,8 @@ func compareReport(path string, fresh map[string]float64, tolerance float64, std
 		}
 	}
 	if len(regressed) > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%: %s",
-			len(regressed), tolerance, strings.Join(regressed, ", "))
+		return fmt.Errorf("%d benchmark(s) regressed beyond tolerance: %s",
+			len(regressed), strings.Join(regressed, ", "))
 	}
 	return nil
 }

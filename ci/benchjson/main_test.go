@@ -162,6 +162,30 @@ func TestRunCompare(t *testing.T) {
 	if err := run([]string{"-compare", path, "-tolerance", "25"}, in, &out, &errw); err != nil {
 		t.Fatalf("-tolerance 25 still failed: %v", err)
 	}
+
+	// A per-benchmark override admits the offender without loosening the
+	// gate for everything else...
+	out.Reset()
+	in = strings.NewReader(stream(map[string]float64{"BenchmarkA": 120, "BenchmarkB": 2000}))
+	if err := run([]string{"-compare", path, "-tol", "BenchmarkA=25"}, in, &out, &errw); err != nil {
+		t.Fatalf("-tol BenchmarkA=25 still failed: %v", err)
+	}
+
+	// ...and a tightened override fails a slowdown the default admits.
+	out.Reset()
+	in = strings.NewReader(stream(map[string]float64{"BenchmarkA": 105, "BenchmarkB": 2000}))
+	err = run([]string{"-compare", path, "-tol", "BenchmarkA=2"}, in, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkA") {
+		t.Fatalf("tightened -tol: got %v, want a regression naming BenchmarkA", err)
+	}
+
+	// Malformed overrides are rejected at the flag layer.
+	for _, bad := range []string{"BenchmarkA", "=5", "BenchmarkA=lots"} {
+		in = strings.NewReader(stream(map[string]float64{"BenchmarkA": 100}))
+		if err := run([]string{"-compare", path, "-tol", bad}, in, &out, &errw); err == nil {
+			t.Errorf("-tol %q accepted, want an error", bad)
+		}
+	}
 }
 
 func TestRunErrors(t *testing.T) {

@@ -8,15 +8,34 @@
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"upmgo"
 )
 
 func main() {
-	if err := upmgo.WriteTable1(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "latency:", err)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintf(os.Stderr, "latency: %v\n", err)
+		}
 		os.Exit(1)
 	}
+}
+
+// run is main without the process exit, testable against any streams.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("latency", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	return upmgo.WriteTable1(stdout)
 }

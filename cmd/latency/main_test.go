@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsArguments(t *testing.T) {
+	for _, args := range [][]string{{"-nope"}, {"stray"}} {
+		var out, errw bytes.Buffer
+		if err := run(args, &out, &errw); err == nil {
+			t.Errorf("run(%v) succeeded, want an error", args)
+		}
+	}
+}
+
+// TestRunTable1 checks the probed ladder: every hierarchy level appears
+// and the latencies grow monotonically down the table.
+func TestRunTable1(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(nil, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"L1 cache", "L2 cache", "local memory", "remote memory"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table lacks a %q row:\n%s", want, text)
+		}
+	}
+	var last float64
+	var levels int
+	for _, line := range strings.Split(text, "\n") {
+		f := strings.Fields(line)
+		if len(f) < 3 {
+			continue
+		}
+		ns, err := strconv.ParseFloat(f[len(f)-1], 64)
+		if err != nil {
+			continue // header lines
+		}
+		levels++
+		if ns < last {
+			t.Errorf("latency ladder not monotone at %q (%.1f after %.1f)", line, ns, last)
+		}
+		last = ns
+	}
+	if levels != 6 {
+		t.Errorf("parsed %d latency rows, want 6:\n%s", levels, text)
+	}
+}

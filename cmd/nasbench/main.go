@@ -7,11 +7,14 @@
 //	nasbench -bench BT -class W -placement wc -upm dist
 //	nasbench -bench SP -placement ft -upm recrep -iters 30
 //	nasbench -bench FT -class W -placement rand -kmig
+//	nasbench -bench SP -class W -steady -v
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -19,17 +22,36 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "BT", "benchmark: BT, SP, CG, MG, FT or LU (extension)")
-	class := flag.String("class", "W", "problem class: S, W or A")
-	placement := flag.String("placement", "ft", "page placement: ft, rr, rand or wc")
-	kmigOn := flag.Bool("kmig", false, "enable the IRIX-style kernel migration engine")
-	upmMode := flag.String("upm", "off", "UPMlib mode: off, dist (data distribution) or recrep (record-replay)")
-	iters := flag.Int("iters", 0, "main-loop iterations (0 = class default)")
-	scale := flag.Int("scale", 1, "repeat each phase body N times (the paper's Figure 6 scaling)")
-	seed := flag.Uint64("seed", 42, "workload seed")
-	threads := flag.Int("threads", 0, "team size (0 = all simulated CPUs)")
-	verbose := flag.Bool("v", false, "print per-iteration times")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintf(os.Stderr, "nasbench: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is main without the process exit, testable against any streams.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("nasbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "BT", "benchmark: BT, SP, CG, MG, FT or LU (extension)")
+	class := fs.String("class", "W", "problem class: S, W or A")
+	placement := fs.String("placement", "ft", "page placement: ft, rr, rand or wc")
+	kmigOn := fs.Bool("kmig", false, "enable the IRIX-style kernel migration engine")
+	upmMode := fs.String("upm", "off", "UPMlib mode: off, dist (data distribution) or recrep (record-replay)")
+	iters := fs.Int("iters", 0, "main-loop iterations (0 = class default)")
+	scale := fs.Int("scale", 1, "repeat each phase body N times (the paper's Figure 6 scaling)")
+	seed := fs.Uint64("seed", 42, "workload seed")
+	threads := fs.Int("threads", 0, "team size (0 = all simulated CPUs)")
+	steady := fs.Bool("steady", false, "detect the steady state and fast-forward the remaining iterations")
+	extrapolate := fs.Bool("extrapolate", true, "with -steady: extrapolate the tail once detected (false = detection-only)")
+	verbose := fs.Bool("v", false, "print per-iteration times")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
 
 	cfg := upmgo.NASConfig{
 		Iterations:   *iters,
@@ -38,6 +60,8 @@ func main() {
 		Threads:      *threads,
 		KernelMig:    *kmigOn,
 		SkipVerify:   *scale > 1,
+		SteadyState:  *steady,
+		Extrapolate:  *steady && *extrapolate,
 	}
 	switch strings.ToUpper(*class) {
 	case "S":
@@ -47,7 +71,7 @@ func main() {
 	case "A":
 		cfg.Class = upmgo.ClassA
 	default:
-		fatal("unknown class %q", *class)
+		return fmt.Errorf("unknown class %q", *class)
 	}
 	switch *placement {
 	case "ft":
@@ -59,7 +83,7 @@ func main() {
 	case "wc":
 		cfg.Placement = upmgo.WorstCase
 	default:
-		fatal("unknown placement %q", *placement)
+		return fmt.Errorf("unknown placement %q", *placement)
 	}
 	switch *upmMode {
 	case "off":
@@ -69,35 +93,40 @@ func main() {
 	case "recrep":
 		cfg.UPM = upmgo.UPMRecRep
 	default:
-		fatal("unknown upm mode %q", *upmMode)
+		return fmt.Errorf("unknown upm mode %q", *upmMode)
 	}
 
 	r, err := upmgo.RunNAS(strings.ToUpper(*bench), cfg)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
-	fmt.Printf("%s Class %s  %s  (%d threads)\n", r.Kernel, r.Class, r.Label, teamSize(cfg))
-	fmt.Printf("  main loop      %.4f virtual s over %d iterations\n", r.Seconds(), len(r.IterPS))
-	fmt.Printf("  cold start     %.4f virtual s\n", float64(r.ColdPS)/1e12)
-	fmt.Printf("  remote share   %.1f%% of memory accesses\n", 100*r.Mach.RemoteRatio())
-	fmt.Printf("  page faults    %d   kernel migrations %d\n", r.Mach.Faults, r.KmigMoves)
+	fmt.Fprintf(stdout, "%s Class %s  %s  (%d threads)\n", r.Kernel, r.Class, r.Label, teamSize(cfg))
+	fmt.Fprintf(stdout, "  main loop      %.4f virtual s over %d iterations\n", r.Seconds(), len(r.IterPS))
+	fmt.Fprintf(stdout, "  cold start     %.4f virtual s\n", float64(r.ColdPS)/1e12)
+	fmt.Fprintf(stdout, "  remote share   %.1f%% of memory accesses\n", 100*r.Mach.RemoteRatio())
+	fmt.Fprintf(stdout, "  page faults    %d   kernel migrations %d\n", r.Mach.Faults, r.KmigMoves)
 	if cfg.UPM != upmgo.UPMOff {
-		fmt.Printf("  UPMlib         %d migrations (%d in the first invocation), %d replays, %d undos, %d frozen\n",
+		fmt.Fprintf(stdout, "  UPMlib         %d migrations (%d in the first invocation), %d replays, %d undos, %d frozen\n",
 			r.UPM.Migrations, r.UPM.FirstInvocation, r.UPM.ReplayMigrations, r.UPM.UndoMigrations, r.UPM.Frozen)
-		fmt.Printf("  UPMlib cost    %.4f virtual s on the critical path\n", float64(r.UPM.OverheadPS)/1e12)
+		fmt.Fprintf(stdout, "  UPMlib cost    %.4f virtual s on the critical path\n", float64(r.UPM.OverheadPS)/1e12)
+	}
+	if r.SteadyAt != 0 {
+		fmt.Fprintf(stdout, "  steady state   detected at iteration %d; %d iterations extrapolated\n",
+			r.SteadyAt, r.ExtrapolatedIters)
 	}
 	if r.VerifyErr != nil {
-		fmt.Printf("  VERIFY FAILED  %v\n", r.VerifyErr)
-		os.Exit(1)
+		fmt.Fprintf(stdout, "  VERIFY FAILED  %v\n", r.VerifyErr)
+		return fmt.Errorf("%s failed verification: %w", r.Kernel, r.VerifyErr)
 	}
 	if r.Verified {
-		fmt.Printf("  verified       ok\n")
+		fmt.Fprintf(stdout, "  verified       ok\n")
 	}
 	if *verbose {
 		for i, ps := range r.IterPS {
-			fmt.Printf("  iter %3d  %.6f s  (phase %.6f s)\n", i+1, float64(ps)/1e12, float64(r.PhasePS[i])/1e12)
+			fmt.Fprintf(stdout, "  iter %3d  %.6f s  (phase %.6f s)\n", i+1, float64(ps)/1e12, float64(r.PhasePS[i])/1e12)
 		}
 	}
+	return nil
 }
 
 func teamSize(cfg upmgo.NASConfig) int {
@@ -107,9 +136,4 @@ func teamSize(cfg upmgo.NASConfig) int {
 	mc := upmgo.DefaultMachineConfig()
 	cfg.Class.MachineTweak(&mc)
 	return mc.Nodes * mc.CPUsPerNode
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "nasbench: "+format+"\n", args...)
-	os.Exit(1)
 }

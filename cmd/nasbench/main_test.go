@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-nope"},
+		{"-bench", "UA"},
+		{"-class", "Q"},
+		{"-placement", "best"},
+		{"-upm", "sometimes"},
+		{"stray"},
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if err := run(args, &out, &errw); err == nil {
+			t.Errorf("run(%v) succeeded, want an error", args)
+		}
+	}
+}
+
+// TestRunBaseline drives one fast cell end to end and checks the report's
+// shape: the header names the config, the loop ran the asked iterations,
+// and verification passed.
+func TestRunBaseline(t *testing.T) {
+	var out, errw bytes.Buffer
+	args := []string{"-bench", "CG", "-class", "S", "-placement", "wc", "-upm", "dist",
+		"-iters", "4", "-v"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"CG Class S  wc-upmlib",
+		"over 4 iterations",
+		"UPMlib",
+		"verified       ok",
+		"iter   4",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output lacks %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "iter   5") {
+		t.Error("ran more iterations than -iters asked for")
+	}
+}
+
+// TestRunSteady: the -steady flag reports the detection point, and the
+// extrapolated run's headline virtual time matches the simulated one.
+func TestRunSteady(t *testing.T) {
+	var plain, steady, errw bytes.Buffer
+	base := []string{"-bench", "SP", "-class", "S", "-iters", "10", "-threads", "1"}
+	if err := run(base, &plain, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(base, "-steady"), &steady, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(steady.String(), "steady state   detected at iteration") {
+		t.Errorf("steady run did not report detection:\n%s", steady.String())
+	}
+	// Identical except for the added steady-state line: drop it and compare.
+	var kept []string
+	for _, line := range strings.Split(steady.String(), "\n") {
+		if !strings.Contains(line, "steady state") {
+			kept = append(kept, line)
+		}
+	}
+	if got := strings.Join(kept, "\n"); got != plain.String() {
+		t.Errorf("extrapolated report diverges from simulated:\n--- plain\n%s\n--- steady\n%s",
+			plain.String(), got)
+	}
+}

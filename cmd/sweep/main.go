@@ -21,6 +21,7 @@
 //	sweep -fig 5                    # record-replay on BT and SP
 //	sweep -fig 6                    # record-replay on the scaled BT
 //	sweep -fig 5 -trace traces/     # + per-cell Chrome traces
+//	sweep -all -steady              # fast-forward steady-state tails
 //	sweep -all -jobs 8              # everything (EXPERIMENTS.md input)
 //	sweep -all -cpuprofile cpu.pb   # + host CPU profile of the sweep
 package main
@@ -92,6 +93,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	quiet := fs.Bool("quiet", false, "suppress the live progress line on stderr")
 	csvOut := fs.Bool("csv", false, "emit figure 1/4 data as CSV instead of bars")
 	traceDir := fs.String("trace", "", "write per-cell Chrome traces and text summaries into this directory (disables memoization)")
+	steady := fs.Bool("steady", false, "detect each cell's steady state and fast-forward the remaining iterations (bit-identical results, much less host time)")
+	extrapolate := fs.Bool("extrapolate", true, "with -steady: extrapolate the tail once detected (false = detection-only, full simulation)")
 	threads := fs.Int("threads", 0, "simulated team size per cell (0 = all CPUs; 1 = exactly reproducible)")
 	noFork := fs.Bool("nofork", false, "simulate every cell's cold start from scratch instead of forking shared prefix snapshots (bisection aid; results are identical)")
 	cpuProfile := fs.String("cpuprofile", "", "write a host CPU profile of the sweep to this file")
@@ -106,7 +109,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
 	}
 
-	o := upmgo.SweepOptions{Seed: *seed, Iterations: *iters, Threads: *threads}
+	o := upmgo.SweepOptions{Seed: *seed, Iterations: *iters, Threads: *threads,
+		Steady: *steady, Extrapolate: *extrapolate}
 	switch strings.ToUpper(*class) {
 	case "S":
 		o.Class = upmgo.ClassS
@@ -292,13 +296,24 @@ func (s *sweeper) progressLine(ev upmgo.SweepEvent) {
 	line := fmt.Sprintf("[%d/%d] %s %-12s %8.4fs %s %s",
 		s.done, ev.Total, ev.Spec.Bench, ev.Spec.Config.Label(),
 		ev.VirtualS, src, ev.Host.Round(time.Millisecond))
-	fmt.Fprintf(s.errw, "\r%-78s", line)
+	// Pad AND truncate to one fixed width: a line longer than the pad
+	// width would leave residue from itself on the next, shorter repaint
+	// (the flicker a long label plus a slow host time used to cause).
+	if len(line) > progressWidth {
+		line = line[:progressWidth]
+	}
+	fmt.Fprintf(s.errw, "\r%-*s", progressWidth, line)
 	if s.done == ev.Total {
 		// Batch complete: clear the line so the next figure starts clean.
 		s.done = 0
-		fmt.Fprintf(s.errw, "\r%78s\r", "")
+		fmt.Fprintf(s.errw, "\r%*s\r", progressWidth, "")
 	}
 }
+
+// progressWidth is the fixed repaint width of the live progress line:
+// every repaint pads or truncates to exactly this many columns, so
+// successive lines fully overwrite each other.
+const progressWidth = 78
 
 func (s *sweeper) runTable1() error {
 	if err := upmgo.WriteTable1(s.out); err != nil {

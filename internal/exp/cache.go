@@ -29,6 +29,12 @@ type Cache struct {
 	prefixFlight map[string]*inflightPrefix
 	prefixSims   uint64
 	forked       uint64
+
+	// Shared verification outcomes (see nas.VerifyCache): cells whose
+	// numerics are identical — same benchmark, class, iterations,
+	// threads, seed and scale, regardless of placement or engine —
+	// verify once; extrapolating cells then skip their free-run tails.
+	verify *nas.VerifyCache
 }
 
 type inflightCell struct {
@@ -50,6 +56,7 @@ func NewCache() *Cache {
 		inflight:     map[string]*inflightCell{},
 		prefixes:     map[string]*nas.Prefix{},
 		prefixFlight: map[string]*inflightPrefix{},
+		verify:       nas.NewVerifyCache(),
 	}
 }
 

@@ -171,6 +171,15 @@ type SweepOptions struct {
 	// the simulator's intra-team interleaving (see the equivalence
 	// contract in internal/nas).
 	Threads int
+	// Steady arms the steady-state detector on every cell
+	// (nas.Config.SteadyState); with Extrapolate also set, each cell
+	// fast-forwards its tail once the per-iteration delta is proven to
+	// repeat, cutting host time while every reported virtual-time
+	// quantity stays bit-identical (the contract internal/nas's
+	// steady-state tests enforce). Steady without Extrapolate is
+	// detection-only: full simulation plus Result.SteadyAt.
+	Steady      bool
+	Extrapolate bool
 }
 
 func (o *SweepOptions) defaults() {
@@ -207,6 +216,7 @@ func Figure1Specs(o SweepOptions) []CellSpec {
 				specs = append(specs, CellSpec{bench, nas.Config{
 					Class: o.Class, Placement: p, KernelMig: km,
 					Seed: o.Seed, Iterations: o.Iterations, Threads: o.Threads,
+					SteadyState: o.Steady, Extrapolate: o.Steady && o.Extrapolate,
 				}})
 			}
 		}
@@ -230,6 +240,7 @@ func Figure4Specs(o SweepOptions) []CellSpec {
 				specs = append(specs, CellSpec{bench, nas.Config{
 					Class: o.Class, Placement: p, KernelMig: mode.km, UPM: mode.upm,
 					Seed: o.Seed, Iterations: o.Iterations, Threads: o.Threads,
+					SteadyState: o.Steady, Extrapolate: o.Steady && o.Extrapolate,
 				}})
 			}
 		}
@@ -276,6 +287,7 @@ func Table2Specs(o SweepOptions) []CellSpec {
 			specs = append(specs, CellSpec{bench, nas.Config{
 				Class: o.Class, Placement: p, UPM: nas.UPMDistribute,
 				Seed: o.Seed, Iterations: o.Iterations, Threads: o.Threads,
+				SteadyState: o.Steady, Extrapolate: o.Steady && o.Extrapolate,
 			}})
 		}
 	}
@@ -351,6 +363,8 @@ func Figure5Specs(o SweepOptions) []CellSpec {
 			cfg.Iterations = o.Iterations
 			cfg.Threads = o.Threads
 			cfg.ComputeScale = o.Scale
+			cfg.SteadyState = o.Steady
+			cfg.Extrapolate = o.Steady && o.Extrapolate
 			// Repeating each phase body in place (the paper's synthetic
 			// scaling) changes the numerics, exactly as in the paper,
 			// where the scaled experiment is timed but not verified.

@@ -113,6 +113,16 @@ func (r Runner) Cells(ctx context.Context, specs []CellSpec) ([]Cell, error) {
 	if len(specs) == 0 {
 		return nil, nil
 	}
+	// Create the output directories once per batch, not once per cell:
+	// concurrent per-cell MkdirAll calls are redundant syscalls, and
+	// failing before any simulation starts beats failing mid-sweep.
+	for _, dir := range []string{r.TraceDir, r.MetricsDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return nil, err
+			}
+		}
+	}
 	jobs := r.Jobs
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
@@ -197,6 +207,15 @@ func (r Runner) Cells(ctx context.Context, specs []CellSpec) ([]Cell, error) {
 // prefix fingerprint, held in the Cache) unless NoFork asks for the
 // from-scratch path; either way the Cell is the same.
 func (r Runner) runCell(ctx context.Context, spec CellSpec) (Cell, bool, error) {
+	if r.Cache != nil {
+		// Share verification outcomes across the batch: placement and
+		// engine variants of one benchmark compute identical numerics, so
+		// the first to verify spares every later extrapolating cell its
+		// free-run tail. Attached before Key() on purpose — the
+		// fingerprint canonicalises the cache away, results being
+		// bit-identical with or without it.
+		spec.Config.TailCache = r.Cache.verify
+	}
 	if r.TraceDir != "" {
 		spec.Config.Tracer = trace.NewRecorder()
 	}
@@ -265,11 +284,9 @@ func cellBase(spec CellSpec) string {
 	return base
 }
 
-// writeTrace dumps one traced cell's Chrome trace and text summary.
+// writeTrace dumps one traced cell's Chrome trace and text summary. The
+// directory exists: Cells creates it before the batch starts.
 func (r Runner) writeTrace(spec CellSpec, rec *trace.Recorder) error {
-	if err := os.MkdirAll(r.TraceDir, 0o755); err != nil {
-		return err
-	}
 	base := cellBase(spec)
 	events := rec.Events()
 
@@ -296,10 +313,8 @@ func (r Runner) writeTrace(spec CellSpec, rec *trace.Recorder) error {
 // writeMetrics dumps one sampled cell's time series in all three export
 // formats: the JSON interchange form (heatmaps included), a flat CSV,
 // and a Prometheus text snapshot of the final sample.
+// The directory exists: Cells creates it before the batch starts.
 func (r Runner) writeMetrics(spec CellSpec, s *metrics.Sampler) error {
-	if err := os.MkdirAll(r.MetricsDir, 0o755); err != nil {
-		return err
-	}
 	se := s.Series()
 	base := cellBase(spec)
 	for ext, write := range map[string]func(io.Writer) error{

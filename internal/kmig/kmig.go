@@ -122,6 +122,36 @@ func (e *Engine) Rejected() int64 { return e.rejected }
 // Cost returns the total picoseconds of migration overhead charged.
 func (e *Engine) Cost() int64 { return e.costPS }
 
+// CounterLen returns the length AppendCounters appends.
+func (e *Engine) CounterLen() int { return 5 }
+
+// AppendCounters appends the engine's cumulative counters — barriers
+// seen, scans run, pages migrated, candidates rejected, picoseconds
+// charged — to dst and returns it. The steady-state detector folds them
+// into the per-iteration delta vector: equal deltas mean the engine does
+// the same work (possibly none) every iteration, and lastScan need not
+// be included because with a fixed per-iteration barrier cadence equal
+// scan deltas pin the scan-spacing phase too.
+func (e *Engine) AppendCounters(dst []int64) []int64 {
+	return append(dst, e.barriers, e.scans, e.migrations, e.rejected, e.costPS)
+}
+
+// ApplyCounterDelta advances the counters by k repetitions of a
+// per-iteration delta (laid out as AppendCounters), extrapolating the
+// work the engine would have done over k more identical iterations.
+// lastScan is left behind deliberately: after a fast-forward the run
+// only free-runs, during which barrier hooks never fire.
+func (e *Engine) ApplyCounterDelta(delta []int64, k int64) {
+	if len(delta) != e.CounterLen() {
+		panic("kmig: counter delta length mismatch")
+	}
+	e.barriers += delta[0] * k
+	e.scans += delta[1] * k
+	e.migrations += delta[2] * k
+	e.rejected += delta[3] * k
+	e.costPS += delta[4] * k
+}
+
 // hook runs at every barrier: scan the allocated pages, apply the
 // competitive criterion, migrate up to MaxPerScan pages, reset the moved
 // pages' counters, and return the overhead to add to the barrier time.

@@ -118,6 +118,22 @@ type Machine struct {
 
 	hooks  []BarrierHook
 	tracer trace.Tracer
+
+	// freeRun suspends every virtual-time effect of execution: touches
+	// charge nothing, clocks freeze, barrier settlement (and its hooks)
+	// becomes a no-op and the tracer is hidden. The steady-state
+	// fast-forward engine uses it to advance a kernel's *numerical* state
+	// through extrapolated iterations while the machine's clocks and
+	// counters have already been advanced analytically.
+	freeRun bool
+
+	// refCounting gates page reference-counter accumulation (CountMiss /
+	// CountMissN on L2 misses). The NAS driver clears it for runs in which
+	// no attached engine or sampler can ever read the counters — the rows
+	// are then dead state whose upkeep is pure host cost. Counter-visible
+	// outputs are unaffected by construction: the rows feed only kmig
+	// scans, UPMlib invocations and the metrics sampler.
+	refCounting bool
 }
 
 // SetTracer attaches an event tracer to the machine; nil detaches it.
@@ -128,8 +144,32 @@ type Machine struct {
 // internal/nas's tracing equivalence test).
 func (m *Machine) SetTracer(t trace.Tracer) { m.tracer = t }
 
-// Tracer returns the attached tracer, or nil.
-func (m *Machine) Tracer() trace.Tracer { return m.tracer }
+// Tracer returns the attached tracer, or nil. During free-run it returns
+// nil: extrapolated iterations must not emit events, since their virtual
+// time has already been accounted for analytically.
+func (m *Machine) Tracer() trace.Tracer {
+	if m.freeRun {
+		return nil
+	}
+	return m.tracer
+}
+
+// SetFreeRun switches free-run mode on or off. In free-run mode simulated
+// accesses return data without charging clocks or counters, Settle is a
+// no-op (barrier hooks do not fire), and Tracer reports nil. See the
+// freeRun field for the intended use.
+func (m *Machine) SetFreeRun(on bool) { m.freeRun = on }
+
+// FreeRun reports whether the machine is in free-run mode.
+func (m *Machine) FreeRun() bool { return m.freeRun }
+
+// SetRefCounting enables or disables page reference-counter accumulation.
+// It defaults to on; callers may switch it off for runs where no engine
+// or sampler ever reads the counters (see the refCounting field).
+func (m *Machine) SetRefCounting(on bool) { m.refCounting = on }
+
+// RefCounting reports whether page reference counters accumulate.
+func (m *Machine) RefCounting() bool { return m.refCounting }
 
 // New builds a machine. Zero fields of cfg that have a default are filled
 // in from DefaultConfig.
@@ -180,14 +220,15 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{
-		Cfg:       cfg,
-		Topo:      topo,
-		PT:        pt,
-		Lat:       cfg.Lat,
-		pageShift: uint(bits.TrailingZeros(uint(cfg.PageBytes))),
-		cohShift:  uint(bits.TrailingZeros(uint(cfg.L2Line))),
-		l1Shift:   uint(bits.TrailingZeros(uint(cfg.L1Line))),
-		settleAcc: make([]int64, cfg.Nodes),
+		Cfg:         cfg,
+		Topo:        topo,
+		PT:          pt,
+		Lat:         cfg.Lat,
+		pageShift:   uint(bits.TrailingZeros(uint(cfg.PageBytes))),
+		cohShift:    uint(bits.TrailingZeros(uint(cfg.L2Line))),
+		l1Shift:     uint(bits.TrailingZeros(uint(cfg.L1Line))),
+		settleAcc:   make([]int64, cfg.Nodes),
+		refCounting: true,
 	}
 	m.bulkOK = !cfg.ScalarRuns && cfg.L1Line <= cfg.L2Line && cfg.L2Line <= cfg.PageBytes
 	m.lineState = make([]uint32, (uint64(cfg.ArenaPages)<<m.pageShift)>>m.cohShift)
@@ -301,6 +342,11 @@ func (m *Machine) MigrationCost() int64 {
 // barrier hooks, and returns the settled time. Callers (the omp runtime)
 // then assign the returned time to every participating clock.
 func (m *Machine) Settle(cpus []*CPU, start int64) int64 {
+	if m.freeRun {
+		// Free-run: clocks are frozen at their extrapolated values and
+		// barrier hooks (the kernel migration engine) must not fire.
+		return start
+	}
 	tmax := start
 	for _, c := range cpus {
 		if c.clock > tmax {
@@ -339,6 +385,62 @@ func (m *Machine) Settle(cpus []*CPU, start int64) int64 {
 		c.clock = tb
 	}
 	return tb
+}
+
+// countersPerCPU is the number of AppendCounters slots each CPU
+// contributes: clock, the seven CPUStats fields, and hits/misses/tick for
+// each private cache.
+const countersPerCPU = 1 + 7 + 3 + 3
+
+// AppendCounters appends the machine's complete monotone counter state to
+// dst and returns the extended slice: per CPU the virtual clock, the
+// seven CPUStats fields and each private cache's hits, misses and LRU
+// tick; then the page table's fault, migration, replica and collapse
+// totals. The layout is fixed so that the element-wise difference of two
+// snapshots taken at consecutive iteration boundaries is the iteration's
+// delta vector, and so that ApplyCounterDelta can fast-forward the same
+// state by a multiple of that delta.
+func (m *Machine) AppendCounters(dst []int64) []int64 {
+	for _, c := range m.cpus {
+		dst = append(dst, c.clock,
+			int64(c.stat.Accesses), int64(c.stat.L1Miss), int64(c.stat.L2Miss),
+			int64(c.stat.TLBMiss), int64(c.stat.LocalMem), int64(c.stat.RemoteMem),
+			int64(c.stat.Faults))
+		h1, m1 := c.l1.Stats()
+		h2, m2 := c.l2.Stats()
+		dst = append(dst, int64(h1), int64(m1), int64(c.l1.Tick()),
+			int64(h2), int64(m2), int64(c.l2.Tick()))
+	}
+	return append(dst, m.PT.Faults(), m.PT.Migrations(), m.PT.ReplicaCreations(), m.PT.Collapses())
+}
+
+// CounterLen returns the length AppendCounters adds to its argument.
+func (m *Machine) CounterLen() int { return len(m.cpus)*countersPerCPU + 4 }
+
+// ApplyCounterDelta advances every counter AppendCounters reports by k
+// repetitions of the per-iteration delta vector — the steady-state
+// fast-forward. delta must have CounterLen elements laid out exactly as
+// AppendCounters produces them.
+func (m *Machine) ApplyCounterDelta(delta []int64, k int64) {
+	if len(delta) != m.CounterLen() {
+		panic(fmt.Sprintf("machine: counter delta has %d elements, want %d", len(delta), m.CounterLen()))
+	}
+	i := 0
+	for _, c := range m.cpus {
+		d := delta[i : i+countersPerCPU]
+		c.clock += d[0] * k
+		c.stat.Accesses += uint64(d[1] * k)
+		c.stat.L1Miss += uint64(d[2] * k)
+		c.stat.L2Miss += uint64(d[3] * k)
+		c.stat.TLBMiss += uint64(d[4] * k)
+		c.stat.LocalMem += uint64(d[5] * k)
+		c.stat.RemoteMem += uint64(d[6] * k)
+		c.stat.Faults += uint64(d[7] * k)
+		c.l1.FastForward(uint64(d[8]), uint64(d[9]), uint64(d[10]), k)
+		c.l2.FastForward(uint64(d[11]), uint64(d[12]), uint64(d[13]), k)
+		i += countersPerCPU
+	}
+	m.PT.FastForwardCounters(delta[i]*k, delta[i+1]*k, delta[i+2]*k, delta[i+3]*k)
 }
 
 // Stats aggregates the memory-system counters of every CPU.
@@ -414,13 +516,29 @@ func (c *CPU) Machine() *Machine { return c.m }
 func (c *CPU) Now() int64 { return c.clock }
 
 // SetClock forces the CPU clock; the omp runtime uses it at fork/join.
-func (c *CPU) SetClock(t int64) { c.clock = t }
+// In free-run mode the clock is frozen at its extrapolated value.
+func (c *CPU) SetClock(t int64) {
+	if c.m.freeRun {
+		return
+	}
+	c.clock = t
+}
 
 // Advance adds ps picoseconds of pure computation to the clock.
-func (c *CPU) Advance(ps int64) { c.clock += ps }
+func (c *CPU) Advance(ps int64) {
+	if c.m.freeRun {
+		return
+	}
+	c.clock += ps
+}
 
 // Flops charges n floating-point operations of computation.
-func (c *CPU) Flops(n int) { c.clock += int64(n) * c.m.Lat.FlopCost }
+func (c *CPU) Flops(n int) {
+	if c.m.freeRun {
+		return
+	}
+	c.clock += int64(n) * c.m.Lat.FlopCost
+}
 
 // Stat returns the CPU's event counters.
 func (c *CPU) Stat() CPUStats { return c.stat }
@@ -454,7 +572,7 @@ func (c *CPU) StoreRun(addr uint64, n int, stride uint64) { c.touchRun(addr, n, 
 // back to the scalar loop.
 func (c *CPU) touchRun(addr uint64, n int, stride uint64, write bool) {
 	m := c.m
-	if n <= 0 {
+	if n <= 0 || m.freeRun {
 		return
 	}
 	if !m.bulkOK || stride == 0 || stride > uint64(m.Cfg.L2Line) {
@@ -591,7 +709,9 @@ func (c *CPU) touchRun(addr uint64, n int, stride uint64, write bool) {
 				c.stat.RemoteMem += uint64(l2misses)
 			}
 			c.clock += int64(l2misses) * lat.MemLatency(hops)
-			m.PT.CountMissN(vpn, c.NodeID, uint32(l2misses))
+			if m.refCounting {
+				m.PT.CountMissN(vpn, c.NodeID, uint32(l2misses))
+			}
 			c.nodeAcc[home] += int64(l2misses)
 		}
 		i += nPage
@@ -679,7 +799,9 @@ func (c *CPU) touchUnit(addr, last uint64, n int, stride uint64, write bool) {
 		c.stat.RemoteMem++
 	}
 	c.clock += lat.MemLatency(hops)
-	m.PT.CountMissN(vpn, c.NodeID, 1)
+	if m.refCounting {
+		m.PT.CountMissN(vpn, c.NodeID, 1)
+	}
 	c.nodeAcc[home]++
 }
 
@@ -689,6 +811,9 @@ func (c *CPU) touchUnit(addr, last uint64, n int, stride uint64, write bool) {
 // miss — the Origin2000 counts *memory* accesses, i.e. L2 misses, which is
 // why cache-friendly code barely moves the counters.
 func (c *CPU) touch(addr uint64, write bool) {
+	if c.m.freeRun {
+		return
+	}
 	lat := &c.m.Lat
 	c.stat.Accesses++
 	if write && c.m.PT.WriteTracking() {
@@ -740,7 +865,9 @@ func (c *CPU) touch(addr uint64, write bool) {
 		c.stat.RemoteMem++
 	}
 	c.clock += lat.MemLatency(hops)
-	c.m.PT.CountMiss(vpn, c.NodeID)
+	if c.m.refCounting {
+		c.m.PT.CountMiss(vpn, c.NodeID)
+	}
 	c.nodeAcc[home]++
 }
 

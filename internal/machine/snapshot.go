@@ -38,6 +38,9 @@ func (m *Machine) Clone() *Machine {
 		l1Shift:   m.l1Shift,
 		bulkOK:    m.bulkOK,
 		settleAcc: make([]int64, len(m.settleAcc)),
+		// refCounting carries over; freeRun deliberately does not — a
+		// clone is taken at a quiescent point and starts simulating.
+		refCounting: m.refCounting,
 	}
 	c.cpus = make([]*CPU, len(m.cpus))
 	for i, src := range m.cpus {

@@ -209,9 +209,17 @@ func (c *Cache) AccessLines(addr uint64, nLines, firstCount, perLine, lastCount 
 		} else {
 			if !resident {
 				victim := set
-				for w := 1; w < c.ways; w++ {
-					if age[set+w] < age[victim] {
-						victim = set + w
+				if c.ways == 2 {
+					// Matches the general scan below for the 2-way
+					// machine without paying the loop set-up.
+					if age[set+1] < age[set] {
+						victim = set + 1
+					}
+				} else {
+					for w := 1; w < c.ways; w++ {
+						if age[set+w] < age[victim] {
+							victim = set + w
+						}
 					}
 				}
 				tags[victim] = tag
@@ -282,3 +290,22 @@ func (c *Cache) Ways() int { return c.ways }
 
 // Stats returns cumulative hit and miss counts.
 func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// Tick returns the LRU timestamp counter, which advances by exactly one
+// per simulated access. The steady-state detector includes it in the
+// per-iteration counter vector: equal tick deltas across iterations are a
+// necessary condition for the replacement state to be on a periodic
+// orbit.
+func (c *Cache) Tick() uint64 { return c.tick }
+
+// FastForward advances the cache's monotone counters by k repetitions of
+// the per-iteration deltas (dHits, dMisses, dTick) without simulating the
+// accesses behind them. The steady-state fast-forward engine calls this
+// after proving the deltas repeat; tags, versions and relative LRU ages
+// are left untouched, which is sound because an extrapolated run performs
+// no further simulated accesses that could consult them.
+func (c *Cache) FastForward(dHits, dMisses, dTick uint64, k int64) {
+	c.hits += dHits * uint64(k)
+	c.misses += dMisses * uint64(k)
+	c.tick += dTick * uint64(k)
+}

@@ -196,6 +196,32 @@ type Config struct {
 	// SkipVerify skips the numerical check (benchmarks that time very
 	// few iterations on purpose may not converge).
 	SkipVerify bool
+	// SteadyState arms the steady-state detector: at the end of every
+	// timed iteration (past PerturbAt, if set) it snapshots the machine
+	// and engine counters, and when SteadyWindow consecutive iterations
+	// produce identical deltas with a stationary page-home map it records
+	// the iteration in Result.SteadyAt. Detection is observation-only
+	// unless Extrapolate is also set. Ignored when Metrics is attached:
+	// the sampler needs every iteration simulated.
+	SteadyState bool
+	// Extrapolate, with SteadyState, fast-forwards the run at detection:
+	// the remaining iterations' virtual time and counters are added
+	// analytically (remaining × the proven per-iteration delta) and the
+	// kernel re-executes the remaining steps in free-run mode so the
+	// numerics still reach their exact final state for Verify. Every
+	// virtual-time quantity of the Result is bit-identical to the fully
+	// simulated run (steady_test.go proves it per benchmark and engine).
+	Extrapolate bool
+	// SteadyWindow is the number of consecutive identical deltas that
+	// proves steadiness. 0 means the default (3).
+	SteadyWindow int
+	// TailCache, when non-nil, shares verification outcomes between runs
+	// with identical numerics (see VerifyCache). An extrapolating run
+	// that finds its trajectory already verified skips the free-run
+	// re-execution of its tail; every verified run seeds the cache.
+	// Attach one cache per sweep. Results are bit-identical with or
+	// without it, so it does not partition the fingerprint space.
+	TailCache *VerifyCache
 }
 
 // Fingerprint returns a canonical text encoding of the configuration,
@@ -217,6 +243,21 @@ func (c Config) Fingerprint() (string, bool) {
 	if c.ComputeScale < 1 {
 		c.ComputeScale = 1
 	}
+	// Steady-state knobs are canonicalised the way runMain reads them:
+	// without SteadyState the other two fields are dead, and window 0 is
+	// the default. (SteadyState stays in the key even though extrapolated
+	// results are bit-identical to simulated ones — Result.SteadyAt and
+	// ExtrapolatedIters do differ.)
+	if !c.SteadyState {
+		c.Extrapolate = false
+		c.SteadyWindow = 0
+	} else if c.SteadyWindow <= 0 {
+		c.SteadyWindow = steadyWindowDefault
+	}
+	// A tail cache never changes a Result (a hit substitutes a verdict
+	// proven identical), so cached and uncached runs share one entry —
+	// and the pointer's address must not leak into the key.
+	c.TailCache = nil
 	return fmt.Sprintf("%+v", c), true
 }
 
@@ -294,6 +335,16 @@ type Result struct {
 
 	Verified  bool
 	VerifyErr error
+
+	// SteadyAt is the iteration at whose end the steady-state detector
+	// (Config.SteadyState) proved the per-iteration delta repeats; 0 when
+	// detection was off or never fired. ExtrapolatedIters is how many of
+	// the trailing iterations were extrapolated instead of simulated
+	// (Config.Extrapolate); their IterPS/PhasePS entries are the proven
+	// per-iteration deltas, so the sum contracts over IterPS and TotalPS
+	// hold exactly as in a fully simulated run.
+	SteadyAt          int
+	ExtrapolatedIters int
 }
 
 // Seconds returns the main-loop virtual time in seconds.
@@ -369,12 +420,18 @@ func runPrefix(build Builder, cfg Config) (*machine.Machine, Kernel, *omp.Team, 
 	// computation once before the timed loop purely to let first-touch
 	// place the pages. Serial mode makes fault resolution deterministic;
 	// results are discarded.
+	// Reference-counter rows accumulated here are dead state: the prefix
+	// ends by resetting every row, so the per-miss bookkeeping below
+	// would be discarded wholesale. Eliding it leaves the post-reset
+	// machine bit-identical and shaves the cold start for every engine.
+	m.SetRefCounting(false)
 	team.SetSerial(true)
 	k.InitTouch(team)
 	k.Step(team, nil)
 	team.SetSerial(false)
 	k.Reinit()
 	m.PT.ResetAllCounters()
+	m.SetRefCounting(true)
 	return m, k, team, nil
 }
 
@@ -405,6 +462,22 @@ func runMain(m *machine.Machine, k Kernel, team *omp.Team, cfg Config) (Result, 
 		}
 	}
 
+	// With no counter consumer — no kernel engine, no UPMlib, no sampler —
+	// the per-page reference-counter rows are dead state: nothing reads
+	// them before the run ends, so the per-miss CountMiss bookkeeping can
+	// be skipped outright. This is the hot path of the plain-IRIX cells.
+	if !cfg.KernelMig && cfg.UPM == UPMOff && cfg.Metrics == nil {
+		m.SetRefCounting(false)
+	}
+
+	// The steady-state detector observes only; extrapolation additionally
+	// requires Extrapolate. A sampler disables both — it must see every
+	// iteration simulated to sample it.
+	var det *steadyDetector
+	if cfg.SteadyState && cfg.Metrics == nil {
+		det = newSteadyDetector(m, eng, u, cfg.SteadyWindow, cfg.KernelMig)
+	}
+
 	master := team.Master()
 	res := Result{Kernel: k.Name(), Label: cfg.Label(), Class: cfg.Class, ColdPS: master.Now()}
 	niter := cfg.Iterations
@@ -420,6 +493,9 @@ func runMain(m *machine.Machine, k Kernel, team *omp.Team, cfg Config) (Result, 
 	trc := cfg.tracer()
 	start := master.Now()
 	reactivated := false
+	nkey := numericKey(k.Name(), cfg, niter, len(team.Binding()))
+	var tailVerdict verdict
+	haveTail := false
 	for step := 1; step <= niter; step++ {
 		iterStart := master.Now()
 		if trc != nil {
@@ -478,6 +554,61 @@ func runMain(m *machine.Machine, k Kernel, team *omp.Team, cfg Config) (Result, 
 				reactivated = true
 			}
 		}
+		// Observe after the iteration's full effect — engine invocations
+		// and any perturbation included. Before PerturbAt the loop is
+		// about to be disturbed, so observation starts past it.
+		if det != nil && (cfg.PerturbAt == 0 || step > cfg.PerturbAt) &&
+			det.observe(res.IterPS[step-1], res.PhasePS[step-1]) {
+			res.SteadyAt = step
+			if trc != nil {
+				trc.Emit(trace.Event{Time: master.Now(), CPU: master.ID,
+					Kind: trace.EvSteadyState, Arg0: int64(step), Arg1: int64(det.window)})
+			}
+			r := int64(niter - step)
+			if !cfg.Extrapolate || r == 0 {
+				// Detection-only: record the iteration and keep simulating.
+				det = nil
+				continue
+			}
+			dIter, dPhase := det.iterDelta(), det.phaseDelta()
+			det.fastForward(r)
+			res.ExtrapolatedIters = int(r)
+			for i := int64(0); i < r; i++ {
+				res.IterPS = append(res.IterPS, dIter)
+				res.PhasePS = append(res.PhasePS, dPhase)
+			}
+			if trc != nil {
+				// Stamped with the post-jump clock; Summarize treats it as
+				// the timed loop's final mark.
+				trc.Emit(trace.Event{Time: master.Now(), CPU: master.ID,
+					Kind: trace.EvExtrapolate, Arg0: r, Arg1: r * dIter})
+			}
+			// The tail's numerics have exactly one consumer: Verify. When
+			// its answer is already known — the check is skipped, or a run
+			// with the same numeric trajectory verified it (VerifyCache) —
+			// re-executing the remaining steps is pure waste.
+			if cfg.SkipVerify {
+				break
+			}
+			if cfg.TailCache != nil {
+				if v, ok := cfg.TailCache.get(nkey); ok {
+					tailVerdict, haveTail = v, true
+					break
+				}
+			}
+			// Re-execute the remaining steps in free-run mode: clocks are
+			// frozen and accesses charge nothing, but the kernel's data
+			// advances exactly as a simulated run's would, so Verify sees
+			// the true final numerics. Engine calls are skipped (empty
+			// hooks, no MigrateMemory) — on the proven period-one orbit
+			// they only move time and page homes, never kernel values.
+			m.SetFreeRun(true)
+			for fs := step + 1; fs <= niter; fs++ {
+				k.Step(team, &Hooks{})
+			}
+			m.SetFreeRun(false)
+			break
+		}
 	}
 	res.TotalPS = master.Now() - start
 
@@ -491,8 +622,15 @@ func runMain(m *machine.Machine, k Kernel, team *omp.Team, cfg Config) (Result, 
 		res.PagesTotal += int(r[1] - r[0])
 	}
 	if !cfg.SkipVerify {
-		res.VerifyErr = k.Verify()
-		res.Verified = res.VerifyErr == nil
+		if haveTail {
+			res.Verified, res.VerifyErr = tailVerdict.verified, tailVerdict.err
+		} else {
+			res.VerifyErr = k.Verify()
+			res.Verified = res.VerifyErr == nil
+			if cfg.TailCache != nil {
+				cfg.TailCache.put(nkey, verdict{res.Verified, res.VerifyErr})
+			}
+		}
 	}
 	return res, nil
 }

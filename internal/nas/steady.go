@@ -1,0 +1,164 @@
+package nas
+
+// Steady-state fast-forward. The NAS main loops are iterative solvers on
+// fixed partitionings: once the migration engines stop moving pages the
+// reference string repeats exactly, so every later iteration advances
+// every virtual-time quantity by the same delta. The detector proves the
+// repetition from the counters themselves — it fingerprints nothing about
+// the kernel — and the driver then extrapolates the remaining iterations
+// by scalar-multiplying the per-iteration delta into the machine, engine
+// and per-phase counters instead of simulating them.
+//
+// Soundness. The simulator is a deterministic function of (kernel data,
+// page homes + counter rows, cache/TLB/clock state, engine decision
+// state). The detector's vector covers every counter that can influence a
+// future decision or output: all per-CPU clocks and statistics, cache
+// hit/miss/tick counters, page-table fault/migration tallies, both
+// engines' cumulative statistics and decision cursors, the per-iteration
+// and per-phase durations, and a hash of the page-home map (plus the
+// reference-counter rows when the kernel engine — the only consumer whose
+// decisions read them — is enabled). If `window` consecutive iterations
+// produce identical deltas over that vector while the home map stays
+// value-identical, the system is on a period-one orbit: the next
+// iteration starts from the same relative state as the previous one and
+// must reproduce the same delta. Multiplying the delta by the remaining
+// iteration count therefore lands on exactly the counters a full
+// simulation would reach — the bit-identity tests in steady_test.go
+// assert this per benchmark, engine and placement.
+//
+// The kernel's numerics are not extrapolated: the driver re-executes the
+// remaining steps in the machine's free-run mode, where data movement is
+// real but clocks are frozen and accesses charge nothing, so Verify sees
+// the same floating-point state as a fully simulated run.
+
+import (
+	"upmgo/internal/kmig"
+	"upmgo/internal/machine"
+	"upmgo/internal/upm"
+)
+
+// steadyWindowDefault is the number of consecutive identical
+// per-iteration deltas required before the loop is declared steady.
+// Three balances confidence against wasted simulation: the engines'
+// transients (UPMlib deactivation, kernel-engine decay convergence)
+// produce at most pairwise-equal deltas, never three in a row.
+const steadyWindowDefault = 3
+
+// steadyDetector accumulates one counter snapshot per timed iteration and
+// reports when the last `window` deltas are identical.
+type steadyDetector struct {
+	m      *machine.Machine
+	eng    *kmig.Engine
+	u      *upm.UPM // nil when the config runs without UPMlib
+	window int
+	// withRows extends the page-table hash over the reference-counter
+	// rows. Required exactly when the kernel engine is enabled: its scans
+	// read the rows, so row state influences future decisions. Without it
+	// the rows are excluded — they grow monotonically with every miss and
+	// would never repeat, masking genuinely steady loops.
+	withRows bool
+
+	// Cumulative pseudo-counters folded into the snapshot so that their
+	// per-iteration values participate in the delta comparison.
+	cumIter, cumPhase int64
+
+	prev, cur, delta, prevDelta []int64
+	prevHash                    uint64
+	havePrev, haveDelta         bool
+	streak                      int
+}
+
+func newSteadyDetector(m *machine.Machine, eng *kmig.Engine, u *upm.UPM, window int, withRows bool) *steadyDetector {
+	if window <= 0 {
+		window = steadyWindowDefault
+	}
+	n := m.CounterLen() + eng.CounterLen() + 2
+	if u != nil {
+		n += u.CounterLen()
+	}
+	return &steadyDetector{
+		m: m, eng: eng, u: u, window: window, withRows: withRows,
+		prev:      make([]int64, 0, n),
+		cur:       make([]int64, 0, n),
+		delta:     make([]int64, 0, n),
+		prevDelta: make([]int64, 0, n),
+	}
+}
+
+// snapshot appends the full counter vector to dst and returns it.
+func (d *steadyDetector) snapshot(dst []int64) []int64 {
+	dst = d.m.AppendCounters(dst)
+	dst = d.eng.AppendCounters(dst)
+	if d.u != nil {
+		dst = d.u.AppendCounters(dst)
+	}
+	return append(dst, d.cumIter, d.cumPhase)
+}
+
+// observe records the counter state at the end of one timed iteration
+// (iterPS and phasePS are that iteration's durations) and reports whether
+// the loop has just been proven steady: the last `window` deltas
+// identical and the page-home map stationary across them.
+func (d *steadyDetector) observe(iterPS, phasePS int64) bool {
+	d.cumIter += iterPS
+	d.cumPhase += phasePS
+	d.cur = d.snapshot(d.cur[:0])
+	hash := d.m.PT.StateHash(d.m.AllocatedPages(), d.withRows)
+	if !d.havePrev {
+		d.prev, d.cur = d.cur, d.prev
+		d.prevHash = hash
+		d.havePrev = true
+		return false
+	}
+	d.delta = d.delta[:0]
+	for i, v := range d.cur {
+		d.delta = append(d.delta, v-d.prev[i])
+	}
+	// The hash is compared by value, not by delta: counters advance, the
+	// home map must not.
+	if d.haveDelta && hash == d.prevHash && int64sEqual(d.delta, d.prevDelta) {
+		d.streak++
+	} else {
+		d.streak = 1
+	}
+	d.haveDelta = true
+	d.prev, d.cur = d.cur, d.prev
+	d.prevDelta, d.delta = d.delta, d.prevDelta
+	d.prevHash = hash
+	return d.streak >= d.window
+}
+
+// iterDelta and phaseDelta return the proven per-iteration durations.
+// Valid only after observe has returned true.
+func (d *steadyDetector) iterDelta() int64  { return d.prevDelta[len(d.prevDelta)-2] }
+func (d *steadyDetector) phaseDelta() int64 { return d.prevDelta[len(d.prevDelta)-1] }
+
+// fastForward advances machine and engine counters by k repetitions of
+// the proven per-iteration delta — the extrapolation itself. Valid only
+// after observe has returned true.
+func (d *steadyDetector) fastForward(k int64) {
+	off := d.m.CounterLen()
+	d.m.ApplyCounterDelta(d.prevDelta[:off], k)
+	n := d.eng.CounterLen()
+	d.eng.ApplyCounterDelta(d.prevDelta[off:off+n], k)
+	off += n
+	if d.u != nil {
+		n = d.u.CounterLen()
+		d.u.ApplyCounterDelta(d.prevDelta[off:off+n], k)
+		off += n
+	}
+	d.cumIter += d.prevDelta[off] * k
+	d.cumPhase += d.prevDelta[off+1] * k
+}
+
+func int64sEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -14,6 +14,7 @@ package omp
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -65,6 +66,18 @@ type Team struct {
 	binding  []int // thread i runs on CPU binding[i]
 	barrier  *clockBarrier
 	lastJoin int64 // time of the previous join; serial sections span from here
+
+	// Persistent worker lanes: member i>0 of every non-serial region runs
+	// on lanes[i-1], a goroutine that lives for the team's lifetime, so a
+	// run's thousands of parallel regions reuse n-1 goroutines instead of
+	// spawning n fresh ones each. Member 0 runs on the caller's goroutine.
+	// Started lazily by the first non-serial region; each member needs its
+	// own lane (not a smaller pool) because region bodies block on
+	// mid-region barriers that only release once every member arrives.
+	// Workers reference only their channel — never the Team — so the
+	// finalizer set at startLanes can close the channels and let the
+	// workers exit once the team becomes unreachable.
+	lanes []chan func()
 
 	red struct {
 		vals []float64
@@ -169,6 +182,14 @@ func (t *Team) Parallel(body func(tr *Thread)) { t.parallel("", body) }
 func (t *Team) ParallelNamed(name string, body func(tr *Thread)) { t.parallel(name, body) }
 
 func (t *Team) parallel(name string, body func(tr *Thread)) {
+	if t.m.FreeRun() {
+		// Free-run: clocks are frozen and Settle/SetClock/Tracer are
+		// inert, so skip the timing choreography and just execute the
+		// bodies — barriers and reductions still rendezvous so the
+		// kernel's numerics come out bit-identical to a simulated region.
+		t.runBodies(body)
+		return
+	}
 	master := t.Master()
 	// Settle the serial section the master executed since the last join,
 	// so its access tallies do not leak into the parallel region.
@@ -186,21 +207,7 @@ func (t *Team) parallel(name string, body func(tr *Thread)) {
 		c.SetClock(start)
 	}
 	t.barrier.reset(start)
-	if t.serial {
-		for i := 0; i < t.n; i++ {
-			body(&Thread{ID: i, CPU: t.m.CPU(t.binding[i]), team: t})
-		}
-	} else {
-		var wg sync.WaitGroup
-		wg.Add(t.n)
-		for i := 0; i < t.n; i++ {
-			go func(id int) {
-				defer wg.Done()
-				body(&Thread{ID: id, CPU: t.m.CPU(t.binding[id]), team: t})
-			}(i)
-		}
-		wg.Wait()
-	}
+	t.runBodies(body)
 	// Implicit join barrier: settle the last region.
 	end := t.m.Settle(cpus, t.barrier.regionStart) + t.m.Lat.BarrierBase + int64(t.n)*t.m.Lat.BarrierPerCPU
 	for _, c := range cpus {
@@ -210,6 +217,56 @@ func (t *Team) parallel(name string, body func(tr *Thread)) {
 	if trc := t.m.Tracer(); trc != nil {
 		trc.Emit(trace.Event{Time: end, CPU: master.ID, Kind: trace.EvRegionJoin, Name: name})
 	}
+}
+
+// runBodies executes body once per member: sequentially in serial mode,
+// otherwise member 0 on the calling goroutine and members 1..n-1 on the
+// team's persistent lanes.
+func (t *Team) runBodies(body func(tr *Thread)) {
+	if t.serial {
+		for i := 0; i < t.n; i++ {
+			body(&Thread{ID: i, CPU: t.m.CPU(t.binding[i]), team: t})
+		}
+		return
+	}
+	if t.lanes == nil && t.n > 1 {
+		t.startLanes()
+	}
+	var wg sync.WaitGroup
+	wg.Add(t.n - 1)
+	for i := 1; i < t.n; i++ {
+		id := i
+		t.lanes[id-1] <- func() {
+			defer wg.Done()
+			body(&Thread{ID: id, CPU: t.m.CPU(t.binding[id]), team: t})
+		}
+	}
+	body(&Thread{ID: 0, CPU: t.m.CPU(t.binding[0]), team: t})
+	wg.Wait()
+}
+
+// startLanes spawns the persistent worker goroutines. The finalizer is
+// the teardown path: workers hold only their channel, so when the Team
+// becomes unreachable the finalizer closes the channels and every worker
+// returns. No work can be in flight then — dispatching requires a live
+// Team reference.
+func (t *Team) startLanes() {
+	t.lanes = make([]chan func(), t.n-1)
+	for i := range t.lanes {
+		ch := make(chan func(), 1)
+		t.lanes[i] = ch
+		go func() {
+			for f := range ch {
+				f()
+			}
+		}()
+	}
+	lanes := t.lanes
+	runtime.SetFinalizer(t, func(*Team) {
+		for _, ch := range lanes {
+			close(ch)
+		}
+	})
 }
 
 func (t *Team) cpus() []*machine.CPU {
@@ -424,6 +481,10 @@ func (b *clockBarrier) wait(tr *Thread, lastFn func()) {
 }
 
 func (b *clockBarrier) settle(t *Team) {
+	if t.m.FreeRun() {
+		// Clocks are frozen; the rendezvous above was the whole point.
+		return
+	}
 	cpus := t.cpus()
 	end := t.m.Settle(cpus, b.regionStart) + t.m.Lat.BarrierBase + int64(t.n)*t.m.Lat.BarrierPerCPU
 	for _, c := range cpus {

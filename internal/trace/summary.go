@@ -28,14 +28,24 @@ type IterStat struct {
 // iter_start and the last iter_end); the flat counters at the bottom
 // cover the whole trace including the cold-start iteration.
 //
-// Sum contract: TotalPS == sum of Phases[].TimePS + SerialPS == sum of
-// PerIter[].TimePS. Region forks are stamped after the preceding serial
-// section settles and joins after the region's barrier-hook work, so the
-// named spans and the serial gaps tile the loop exactly.
+// Sum contract: TotalPS == sum of Phases[].TimePS + SerialPS +
+// ExtrapolatedPS == sum of PerIter[].TimePS + ExtrapolatedPS. Region
+// forks are stamped after the preceding serial section settles and joins
+// after the region's barrier-hook work, so the named spans and the
+// serial gaps tile the loop exactly. An extrapolate event extends
+// TotalPS past the last simulated iteration without any region or iter
+// events inside the span; ExtrapolatedPS carries that tail explicitly so
+// both equalities keep holding.
 type Summary struct {
 	Events     int   `json:"events"`
-	Iterations int   `json:"iterations"`
-	TotalPS    int64 `json:"total_ps"` // first iter_start → last iter_end
+	Iterations int   `json:"iterations"` // simulated iterations only
+	TotalPS    int64 `json:"total_ps"`   // first iter_start → end of run
+
+	// Steady-state fast-forward (zero when the run simulated every
+	// iteration): iterations whose time was extrapolated rather than
+	// simulated, and the picoseconds they account for.
+	ExtrapolatedIters int   `json:"extrapolated_iters,omitempty"`
+	ExtrapolatedPS    int64 `json:"extrapolated_ps,omitempty"`
 
 	Phases        []PhaseTotal `json:"phases"` // first-appearance order
 	SerialPS      int64        `json:"serial_ps"`
@@ -138,6 +148,12 @@ func Summarize(events []Event) Summary {
 			if iter != nil {
 				iter.KmigMoves += ev.Arg0
 			}
+		case EvExtrapolate:
+			// Stamped with the post-jump clock; the span it accounts for
+			// ends the timed loop, so treat it like a final iter_end.
+			s.ExtrapolatedIters += int(ev.Arg0)
+			s.ExtrapolatedPS += ev.Arg1
+			lastIterEnd = ev.Time
 		case EvShootdown:
 			s.Shootdowns += ev.Arg0
 		case EvPageFault:
@@ -148,7 +164,7 @@ func Summarize(events []Event) Summary {
 	}
 	if haveIter {
 		s.TotalPS = lastIterEnd - firstIterStart
-		s.SerialPS = s.TotalPS - regionPS
+		s.SerialPS = s.TotalPS - regionPS - s.ExtrapolatedPS
 	}
 	return s
 }
@@ -166,6 +182,10 @@ func WriteSummary(w io.Writer, s Summary) {
 			fmt.Fprintf(w, "  %-16s %4d regions  %14d ps  %5.1f%%\n", p.Name, p.Regions, p.TimePS, pct(p.TimePS))
 		}
 		fmt.Fprintf(w, "  %-16s %4s          %14d ps  %5.1f%%\n", "(serial)", "", s.SerialPS, pct(s.SerialPS))
+		if s.ExtrapolatedIters > 0 {
+			fmt.Fprintf(w, "  %-16s %4d iters    %14d ps  %5.1f%%\n",
+				"(extrapolated)", s.ExtrapolatedIters, s.ExtrapolatedPS, pct(s.ExtrapolatedPS))
+		}
 	}
 	if s.MarkedPhasePS > 0 {
 		fmt.Fprintf(w, "marked phase total: %d ps\n", s.MarkedPhasePS)

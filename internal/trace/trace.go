@@ -94,6 +94,19 @@ const (
 	EvUPMReplay
 	// EvUPMUndo is one undo application; Arg0 and Pages as in EvUPMReplay.
 	EvUPMUndo
+	// EvSteadyState marks the iteration at whose end the steady-state
+	// detector proved the per-iteration counter delta repeats. Arg0 is the
+	// 1-based iteration, Arg1 the window length (consecutive identical
+	// deltas observed).
+	EvSteadyState
+	// EvExtrapolate marks a steady-state fast-forward: the remaining
+	// iterations were not simulated; their virtual time and counters were
+	// added analytically. The event is stamped with the post-jump clock;
+	// Arg0 is the number of extrapolated iterations, Arg1 the total
+	// picoseconds they account for. The trace deliberately contains no
+	// iter/region/barrier events for the extrapolated span — Summary's
+	// ExtrapolatedIters/ExtrapolatedPS fields restore the sum contract.
+	EvExtrapolate
 )
 
 var kindNames = [...]string{
@@ -116,6 +129,8 @@ var kindNames = [...]string{
 	EvUPMCompare:     "upm_compare",
 	EvUPMReplay:      "upm_replay",
 	EvUPMUndo:        "upm_undo",
+	EvSteadyState:    "steady_state",
+	EvExtrapolate:    "extrapolate",
 }
 
 // String returns the kind's snake_case name.

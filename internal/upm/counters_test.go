@@ -1,0 +1,71 @@
+package upm
+
+import "testing"
+
+// TestCounterVector: the steady-state detector's view of the engine —
+// AppendCounters layout matches CounterLen, a MigrateMemory invocation
+// moves the vector (and LastMigrations), and ApplyCounterDelta lands
+// exactly on snapshot + k*delta.
+func TestCounterVector(t *testing.T) {
+	m, u, lo := mk(t, 4, Options{})
+	s0 := u.AppendCounters(nil)
+	if len(s0) != u.CounterLen() {
+		t.Fatalf("AppendCounters produced %d elements, CounterLen says %d", len(s0), u.CounterLen())
+	}
+
+	hammer(m, lo, 3, 200)
+	hammer(m, lo, 0, 50)
+	if n := u.MigrateMemory(m.CPU(0)); n != 1 {
+		t.Fatalf("MigrateMemory moved %d pages, want 1", n)
+	}
+	if u.LastMigrations() != 1 {
+		t.Errorf("LastMigrations = %d, want 1", u.LastMigrations())
+	}
+	s1 := u.AppendCounters(nil)
+	delta := make([]int64, len(s1))
+	var moved bool
+	for i := range s1 {
+		delta[i] = s1[i] - s0[i]
+		moved = moved || delta[i] != 0
+	}
+	if !moved {
+		t.Fatal("an invocation that migrated left the counter vector unchanged")
+	}
+
+	const k = 7
+	u.ApplyCounterDelta(delta, k)
+	s2 := u.AppendCounters(nil)
+	for i := range s2 {
+		if want := s1[i] + k*delta[i]; s2[i] != want {
+			t.Errorf("counter %d: got %d, want %d after fast-forward", i, s2[i], want)
+		}
+	}
+	if got := u.Stats().Migrations; got != (k+1)*1 {
+		t.Errorf("Stats().Migrations = %d, want %d", got, k+1)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on a wrong-length delta")
+		}
+	}()
+	u.ApplyCounterDelta(delta[:2], 1)
+}
+
+// TestResetHotCounters zeroes every hot row so the next decision sees a
+// fresh trace.
+func TestResetHotCounters(t *testing.T) {
+	m, u, lo := mk(t, 2, Options{})
+	hammer(m, lo, 3, 200)
+	u.ResetHotCounters()
+	rows := m.PT.Counters(lo, nil)
+	for node, v := range rows {
+		if v != 0 {
+			t.Errorf("node %d row = %d after reset, want 0", node, v)
+		}
+	}
+	// A post-reset invocation sees no dominance and moves nothing.
+	if n := u.MigrateMemory(m.CPU(0)); n != 0 {
+		t.Errorf("MigrateMemory moved %d pages off a reset trace, want 0", n)
+	}
+}

@@ -389,6 +389,51 @@ func (pt *PageTable) Faults() int64 { return pt.faults.Load() }
 // Migrations returns the number of successful page moves so far.
 func (pt *PageTable) Migrations() int64 { return pt.migrations.Load() }
 
+// FastForwardCounters advances the page table's monotone event counters
+// without simulating the events behind them: the steady-state
+// fast-forward engine adds k-iteration multiples of the per-iteration
+// deltas it proved constant. Homes, generations, freeze bits and the
+// reference-counter rows are left exactly as they are — at a steady
+// iteration boundary they are on a period-one orbit, so their current
+// values are also their values after any number of further iterations.
+func (pt *PageTable) FastForwardCounters(dFaults, dMigrations, dReplicas, dCollapses int64) {
+	pt.faults.Add(dFaults)
+	pt.migrations.Add(dMigrations)
+	pt.replicas.Add(dReplicas)
+	pt.collapses.Add(dCollapses)
+}
+
+// StateHash returns an FNV-1a digest of the migration-relevant page-table
+// state over the first npages pages: every page's home node and, when
+// withCounters is set, its reference-counter row. The steady-state
+// detector folds it into the per-iteration fingerprint — equal hashes at
+// consecutive iteration boundaries mean the state a migration engine
+// bases future decisions on is stationary, which is what licenses
+// extrapolating "no further migrations" to the remaining iterations.
+// Counter rows are included only when an attached engine still reads them
+// (the kernel engine's competitive scan); under an inactive or absent
+// engine the rows grow monotonically and would never repeat.
+func (pt *PageTable) StateHash(npages uint64, withCounters bool) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	n := pt.topo.Nodes()
+	for vpn := uint64(0); vpn < npages; vpn++ {
+		h ^= uint64(uint32(atomic.LoadInt32(&pt.home[vpn])))
+		h *= prime64
+		if withCounters {
+			base := int(vpn) * n
+			for i := 0; i < n; i++ {
+				h ^= uint64(atomic.LoadUint32(&pt.counters[base+i]))
+				h *= prime64
+			}
+		}
+	}
+	return h
+}
+
 // Used returns the number of pages resident on each node.
 func (pt *PageTable) Used() []int64 {
 	out := make([]int64, len(pt.used))
