@@ -1,0 +1,79 @@
+#!/bin/sh
+# sweepd_smoke.sh is the end-to-end acceptance check for the sweep
+# service: start sweepd over a fresh store, submit a Figure 1 class S
+# job over HTTP, poll it to completion, fetch one cell record, and
+# require the daemon's store to be byte-identical (diff -r) to one
+# written by the sweep CLI running the same cells in another process.
+# Record encoding is deterministic (no timestamps; -threads 1 makes the
+# simulations exactly reproducible), which is what makes a literal
+# directory diff a valid oracle.
+set -eu
+cd "$(dirname "$0")/.."
+
+work=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+	[ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+	rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$work/sweep" ./cmd/sweep
+go build -o "$work/sweepd" ./cmd/sweepd
+
+"$work/sweepd" -addr 127.0.0.1:18080 -store "$work/daemon-store" -jobs 2 2>"$work/sweepd.log" &
+daemon_pid=$!
+
+# Wait for the listener.
+for i in $(seq 1 50); do
+	if curl -sf http://127.0.0.1:18080/metrics >/dev/null 2>&1; then
+		break
+	fi
+	[ "$i" = 50 ] && { echo "sweepd did not start"; cat "$work/sweepd.log"; exit 1; }
+	sleep 0.2
+done
+
+# Submit the job and poll until done.
+job=$(curl -sf -d '{"kind":"figure1","options":{"class":"S","benches":["BT"],"seed":42,"threads":1}}' \
+	http://127.0.0.1:18080/v1/jobs)
+id=$(printf '%s' "$job" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$id" ] || { echo "no job id in response: $job"; exit 1; }
+
+state=""
+for i in $(seq 1 150); do
+	status=$(curl -sf "http://127.0.0.1:18080/v1/jobs/$id")
+	state=$(printf '%s' "$status" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p' | head -1)
+	case "$state" in
+	done) break ;;
+	failed) echo "job failed: $status"; exit 1 ;;
+	esac
+	sleep 0.2
+done
+[ "$state" = "done" ] || { echo "job stuck in state '$state'"; exit 1; }
+
+# One cell must be fetchable and non-empty.
+addr=$(printf '%s' "$status" | sed -n 's/.*"address": "\([a-f0-9]*\)".*/\1/p' | head -1)
+[ -n "$addr" ] || { echo "no cell address in status"; exit 1; }
+curl -sf "http://127.0.0.1:18080/v1/cells/$addr" | grep -q '"payload_sha256"' ||
+	{ echo "cell record missing integrity envelope"; exit 1; }
+
+# The CLI, in a separate process and store, must write the identical
+# records for the same cells.
+"$work/sweep" -fig 1 -class S -benches BT -threads 1 -quiet -store "$work/cli-store" >/dev/null
+diff -r "$work/daemon-store" "$work/cli-store" ||
+	{ echo "daemon and CLI stores differ"; exit 1; }
+
+# Graceful drain: SIGTERM must stop the daemon cleanly.
+kill -TERM "$daemon_pid"
+for i in $(seq 1 50); do
+	kill -0 "$daemon_pid" 2>/dev/null || break
+	sleep 0.2
+done
+if kill -0 "$daemon_pid" 2>/dev/null; then
+	echo "sweepd did not exit on SIGTERM"
+	exit 1
+fi
+daemon_pid=""
+grep -q "drained" "$work/sweepd.log" || { echo "no drain notice in log"; cat "$work/sweepd.log"; exit 1; }
+
+echo "sweepd smoke OK: job $id done, cell $addr served, stores byte-identical, drain clean"

@@ -24,6 +24,9 @@
 //	sweep -all -steady              # fast-forward steady-state tails
 //	sweep -all -jobs 8              # everything (EXPERIMENTS.md input)
 //	sweep -all -cpuprofile cpu.pb   # + host CPU profile of the sweep
+//	sweep -all -store results/      # persist cells; a second run recalls
+//	                                # everything from disk (cmd/sweepd
+//	                                # serves the same store over HTTP)
 package main
 
 import (
@@ -101,6 +104,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	memProfile := fs.String("memprofile", "", "write a host heap profile (post-sweep) to this file")
 	metricsDir := fs.String("metrics", "", "write per-cell NUMA metrics (JSON/CSV/Prometheus series, page heatmaps) and a locality.md digest into this directory (disables memoization)")
 	metricsAddr := fs.String("metrics-addr", "", "serve live /metrics, /debug/vars and /debug/pprof on this address while sweeping (e.g. localhost:9090; disables memoization)")
+	storeDir := fs.String("store", "", "content-addressed result store directory: recall cells earlier runs (or cmd/sweepd) persisted, persist everything newly simulated")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -133,6 +137,33 @@ func run(args []string, stdout, stderr io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// Validate every output destination before the first cell simulates:
+	// an unusable directory or profile path fails now, named after its
+	// flag, instead of minutes into the sweep.
+	for _, d := range []struct{ flag, dir string }{{"-trace", *traceDir}, {"-metrics", *metricsDir}} {
+		if d.dir == "" {
+			continue
+		}
+		if err := probeDir(d.dir); err != nil {
+			return fmt.Errorf("%s: %w", d.flag, err)
+		}
+	}
+	var st *upmgo.ResultStore
+	if *storeDir != "" {
+		var err error
+		if st, err = upmgo.OpenResultStore(*storeDir); err != nil {
+			return fmt.Errorf("-store: %w", err)
+		}
+	}
+	var memf *os.File
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		defer f.Close()
+		memf = f
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -147,13 +178,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	s := &sweeper{out: stdout, errw: stderr, csv: *csvOut, collect: *metricsDir != ""}
 	cache := upmgo.NewSweepCache()
+	if st != nil {
+		cache.SetStore(st)
+	}
 	r := upmgo.SweepRunner{Jobs: *jobs, Cache: cache, TraceDir: *traceDir, NoFork: *noFork, MetricsDir: *metricsDir}
 
 	var reg *upmgo.MetricsRegistry
 	var served string
 	if *metricsAddr != "" {
 		reg = upmgo.NewMetricsRegistry()
-		describeSweepGauges(reg)
+		upmgo.DescribeSweepGauges(reg)
 		r.MetricsRegistry = reg
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
@@ -168,7 +202,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	var handlers []func(upmgo.SweepEvent)
 	if reg != nil {
-		handlers = append(handlers, func(ev upmgo.SweepEvent) { publishSweepEvent(reg, cache, ev) })
+		handlers = append(handlers, func(ev upmgo.SweepEvent) { upmgo.PublishSweepEvent(reg, cache, ev) })
 	}
 	if !*quiet {
 		handlers = append(handlers, s.progressLine)
@@ -215,9 +249,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if njobs <= 0 {
 		njobs = runtime.GOMAXPROCS(0)
 	}
-	st := cache.Stats()
-	fmt.Fprintf(stderr, "sweep: %d cells simulated (%d forked from %d prefix snapshots), %d recalled from cache, done in %s (host time, -jobs %d)\n",
-		st.Misses, st.Forked, st.Prefixes, st.Hits, time.Since(t0).Round(time.Millisecond), njobs)
+	cs := cache.Stats()
+	if *storeDir != "" {
+		fmt.Fprintf(stderr, "sweep: %d cells simulated (%d forked from %d prefix snapshots), %d recalled from cache, %d from store (%d newly stored), done in %s (host time, -jobs %d)\n",
+			cs.Misses, cs.Forked, cs.Prefixes, cs.Hits, cs.DiskHits, cs.StorePuts, time.Since(t0).Round(time.Millisecond), njobs)
+		if cs.StoreErrors > 0 {
+			fmt.Fprintf(stderr, "sweep: warning: %d store errors (last: %v); affected cells re-simulated or left unpersisted\n", cs.StoreErrors, cs.StoreErr)
+		}
+	} else {
+		fmt.Fprintf(stderr, "sweep: %d cells simulated (%d forked from %d prefix snapshots), %d recalled from cache, done in %s (host time, -jobs %d)\n",
+			cs.Misses, cs.Forked, cs.Prefixes, cs.Hits, time.Since(t0).Round(time.Millisecond), njobs)
+	}
 	if *metricsDir != "" && len(s.cells) > 0 {
 		if err := s.writeLocality(*metricsDir); err != nil {
 			return fmt.Errorf("-metrics: %w", err)
@@ -226,46 +268,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if reg != nil {
 		metricsServed(served)
 	}
-	if *memProfile != "" {
-		f, err := os.Create(*memProfile)
-		if err != nil {
-			return fmt.Errorf("-memprofile: %w", err)
-		}
-		defer f.Close()
+	if memf != nil {
 		runtime.GC() // settle allocations so the heap profile reflects live state
-		if err := pprof.WriteHeapProfile(f); err != nil {
+		if err := pprof.WriteHeapProfile(memf); err != nil {
 			return fmt.Errorf("-memprofile: %w", err)
 		}
 	}
 	return nil
 }
 
-// describeSweepGauges registers the sweep runner's own progress metrics
-// alongside the per-cell NUMA families the samplers publish.
-func describeSweepGauges(reg *upmgo.MetricsRegistry) {
-	reg.Describe("upmgo_sweep_cells_inflight", "gauge", "Cells currently simulating on the worker pool.")
-	reg.Describe("upmgo_sweep_cells_done", "counter", "Finished cells by outcome (simulated vs recalled from the memo cache).")
-	reg.Describe("upmgo_sweep_cells_forked", "gauge", "Cells whose cold start was forked from a shared prefix snapshot.")
-	reg.Describe("upmgo_sweep_prefix_snapshots", "gauge", "Distinct cold-start prefixes simulated and snapshotted.")
-}
-
-// publishSweepEvent keeps the sweep-runner gauges current. The runner
-// serializes OnEvent calls, and the registry locks internally, so the
-// scraping goroutine always sees a consistent snapshot.
-func publishSweepEvent(reg *upmgo.MetricsRegistry, cache *upmgo.SweepCache, ev upmgo.SweepEvent) {
-	if !ev.Done {
-		reg.Add("upmgo_sweep_cells_inflight", nil, 1)
-		return
+// probeDir creates dir if needed and proves it writable with a
+// create-and-remove round trip, so a doomed output flag fails before
+// the sweep instead of after it.
+func probeDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
 	}
-	reg.Add("upmgo_sweep_cells_inflight", nil, -1)
-	result := "simulated"
-	if ev.CacheHit {
-		result = "recalled"
+	f, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return err
 	}
-	reg.Add("upmgo_sweep_cells_done", upmgo.MetricsLabels{"result": result}, 1)
-	st := cache.Stats()
-	reg.Set("upmgo_sweep_cells_forked", nil, float64(st.Forked))
-	reg.Set("upmgo_sweep_prefix_snapshots", nil, float64(st.Prefixes))
+	name := f.Name()
+	f.Close()
+	return os.Remove(name)
 }
 
 // writeLocality renders the accumulated figure 1/4 cells' local:remote

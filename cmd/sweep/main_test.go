@@ -79,6 +79,90 @@ func TestRunAllForkNoForkByteIdentity(t *testing.T) {
 	}
 }
 
+// TestRunStoreWarmStart is the CLI-level acceptance check for -store:
+// `sweep -all -store dir` twice must produce byte-identical stdout, with
+// the second run simulating nothing — every cell recalled from disk —
+// and a third run into a fresh store must write byte-identical records.
+func TestRunStoreWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	store := filepath.Join(dir, "results")
+	var cold, warm, errw bytes.Buffer
+	base := []string{"-all", "-class", "S", "-threads", "1", "-quiet", "-store", store}
+	if err := run(base, &cold, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errw.String(), "66 cells simulated") || !strings.Contains(errw.String(), "(66 newly stored)") {
+		t.Errorf("cold summary lacks the store report:\n%s", errw.String())
+	}
+	errw.Reset()
+	if err := run(base, &warm, &errw); err != nil {
+		t.Fatal(err)
+	}
+	// 66 unique cells come off disk; the overlapping figure requests
+	// (Figure 1 ⊂ Figure 4, Table 2 ⊆ Figure 4) still hit RAM.
+	if !strings.Contains(errw.String(), "0 cells simulated (0 forked from 0 prefix snapshots), 66 recalled from cache, 66 from store (0 newly stored)") {
+		t.Errorf("warm summary shows simulation:\n%s", errw.String())
+	}
+	if cold.String() != warm.String() {
+		t.Error("sweep -all stdout differs between the cold and store-warmed run")
+	}
+
+	// Cross-directory record identity: a second store populated by an
+	// independent process-equivalent run holds byte-identical files (the
+	// invariant the CI smoke checks with diff -r).
+	store2 := filepath.Join(dir, "results2")
+	errw.Reset()
+	if err := run([]string{"-all", "-class", "S", "-threads", "1", "-quiet", "-store", store2}, &cold, &errw); err != nil {
+		t.Fatal(err)
+	}
+	names, err := filepath.Glob(filepath.Join(store, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 66 {
+		t.Fatalf("store holds %d records, want 66", len(names))
+	}
+	for _, name := range names {
+		a, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(store2, filepath.Base(name)))
+		if err != nil {
+			t.Fatalf("record missing from the second store: %v", err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("record %s differs between independent runs", filepath.Base(name))
+		}
+	}
+}
+
+// TestRunOutputDirValidation: every output flag fails up front, named,
+// when its destination is unusable — before any cell simulates.
+func TestRunOutputDirValidation(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(bad, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A plain file where a directory is needed fails MkdirAll regardless
+	// of privilege (unlike permission bits, which root ignores).
+	for _, flag := range []string{"-trace", "-metrics", "-store"} {
+		var out, errw bytes.Buffer
+		err := run([]string{"-fig", "1", "-class", "S", "-benches", "FT", "-quiet", flag, bad}, &out, &errw)
+		if err == nil || !strings.Contains(err.Error(), flag+":") {
+			t.Errorf("%s pointing at a file: err = %v, want it named after the flag", flag, err)
+		}
+		if out.Len() != 0 {
+			t.Errorf("%s failed validation but still swept", flag)
+		}
+	}
+	var out, errw bytes.Buffer
+	err := run([]string{"-table", "1", "-quiet", "-memprofile", filepath.Join(bad, "m.prof")}, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "-memprofile") {
+		t.Errorf("unwritable -memprofile: %v", err)
+	}
+}
+
 // TestRunProfileFlags: -cpuprofile and -memprofile must produce
 // non-empty profile files alongside a normal run.
 func TestRunProfileFlags(t *testing.T) {

@@ -1,0 +1,310 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"upmgo"
+)
+
+// ErrJobNotFound reports a job id the server has never issued. The HTTP
+// layer maps it to 404 Not Found; matched with errors.Is.
+var ErrJobNotFound = errors.New("sweepd: job not found")
+
+// jobState is a job's place in its lifecycle. States only move forward:
+// queued → running → done|failed.
+type jobState string
+
+const (
+	jobQueued  jobState = "queued"
+	jobRunning jobState = "running"
+	jobDone    jobState = "done"
+	jobFailed  jobState = "failed"
+)
+
+// cellRef points one of a job's cells at its store record: fetch it at
+// /v1/cells/{address} once the job is done.
+type cellRef struct {
+	Bench   string `json:"bench"`
+	Label   string `json:"label"`
+	Address string `json:"address,omitempty"` // empty: cell not memoizable, never stored
+}
+
+// job is one submitted sweep. All fields are guarded by server.mu; the
+// status JSON served to clients is a snapshot taken under the lock.
+type job struct {
+	ID        string             `json:"id"`
+	State     jobState           `json:"state"`
+	Request   upmgo.SweepRequest `json:"request"`
+	Cells     []cellRef          `json:"cells"`
+	CellsDone int                `json:"cells_done"`
+	Error     string             `json:"error,omitempty"`
+	Result    *upmgo.SweepResult `json:"result,omitempty"`
+}
+
+// server is the job API: a bounded queue feeding one worker goroutine
+// that runs jobs in submission order (each job's cells simulate
+// concurrently on the runner's pool), over a shared cache and optional
+// result store.
+type server struct {
+	jobsWide int // runner pool width per job
+	cache    *upmgo.SweepCache
+	store    *upmgo.ResultStore
+	reg      *upmgo.MetricsRegistry
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order, for GET /v1/jobs
+	nextID int
+
+	queue chan *job
+	done  chan struct{} // closed when the worker exits (drain complete)
+}
+
+func newServer(jobsWide, queueCap int, st *upmgo.ResultStore) *server {
+	cache := upmgo.NewSweepCache()
+	if st != nil {
+		cache.SetStore(st)
+	}
+	reg := upmgo.NewMetricsRegistry()
+	upmgo.DescribeSweepGauges(reg)
+	reg.Describe("upmgo_sweepd_jobs", "gauge", "Jobs by lifecycle state.")
+	return &server{
+		jobsWide: jobsWide,
+		cache:    cache,
+		store:    st,
+		reg:      reg,
+		jobs:     map[string]*job{},
+		queue:    make(chan *job, queueCap),
+		done:     make(chan struct{}),
+	}
+}
+
+// handler builds the versioned API mux. The metrics endpoint (plus
+// /debug/vars, /debug/pprof/ and the index page) is the same handler
+// cmd/sweep serves on -metrics-addr, mounted as the fallback so the
+// /v1 patterns take precedence.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", upmgo.MetricsHandler(s.reg))
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/cells/{address}", s.handleCell)
+	return mux
+}
+
+// httpError writes a JSON error body with the status the error maps to:
+// bad requests 400, unknown jobs/cells 404, corrupt records 500.
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// handleSubmit validates a sweep request, enumerates its cells, and
+// enqueues it. A full queue answers 503 so the client can back off; the
+// submission itself never blocks on simulation.
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req upmgo.SweepRequest
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	// SweepSpecs re-validates the kind (decode already did, via the
+	// enum's UnmarshalText) and yields the progress denominator plus each
+	// cell's store address, so clients know where results will land
+	// before a single cell has run.
+	specs, err := upmgo.SweepSpecs(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	cells := make([]cellRef, len(specs))
+	for i, spec := range specs {
+		cells[i] = cellRef{Bench: spec.Bench, Label: spec.Config.Label()}
+		if key, ok := spec.Key(); ok {
+			cells[i].Address = upmgo.StoreAddress(key)
+		}
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	j := &job{
+		ID:      fmt.Sprintf("job-%d", s.nextID),
+		State:   jobQueued,
+		Request: req,
+		Cells:   cells,
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.nextID--
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusServiceUnavailable, errors.New("job queue full"))
+		return
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	snap := *j
+	s.publishJobGauges()
+	s.mu.Unlock()
+
+	w.Header().Set("Location", "/v1/jobs/"+snap.ID)
+	writeJSON(w, http.StatusAccepted, snap)
+}
+
+// handleList serves every job's status, oldest first.
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, *s.jobs[id])
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	var snap job
+	if ok {
+		snap = *j
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrJobNotFound, r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleCell serves one store record verbatim — the exact bytes `sweep
+// -store` or a finished job persisted, integrity-checked on the way out.
+// Served bytes are therefore byte-identical to what any other process
+// computes for the same cell.
+func (s *server) handleCell(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		httpError(w, http.StatusNotFound, errors.New("no result store attached (start sweepd with -store)"))
+		return
+	}
+	blob, err := s.store.ReadRecord(r.PathValue("address"))
+	switch {
+	case errors.Is(err, upmgo.ErrStoreNotFound):
+		httpError(w, http.StatusNotFound, err)
+		return
+	case errors.Is(err, upmgo.ErrStoreCorrupt):
+		// The record exists but cannot be trusted; a re-run of the sweep
+		// (here or via the CLI) repairs it in place.
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(blob)
+}
+
+// work is the single job executor: jobs run one at a time in submission
+// order until ctx is cancelled, at which point still-queued jobs fail
+// fast (the drain contract: the running job finishes, nothing new
+// starts).
+func (s *server) work(ctx context.Context) {
+	defer close(s.done)
+	for {
+		select {
+		case <-ctx.Done():
+			s.failQueued()
+			return
+		case j := <-s.queue:
+			if ctx.Err() != nil {
+				s.fail(j, errors.New("server draining"))
+				continue
+			}
+			s.runJob(ctx, j)
+		}
+	}
+}
+
+// failQueued drains the queue channel, failing everything not yet run.
+func (s *server) failQueued() {
+	for {
+		select {
+		case j := <-s.queue:
+			s.fail(j, errors.New("server draining"))
+		default:
+			return
+		}
+	}
+}
+
+func (s *server) fail(j *job, err error) {
+	s.mu.Lock()
+	j.State = jobFailed
+	j.Error = err.Error()
+	s.publishJobGauges()
+	s.mu.Unlock()
+}
+
+// runJob executes one sweep on the shared cache/store, streaming
+// per-cell progress into the job record and the metrics registry.
+func (s *server) runJob(ctx context.Context, j *job) {
+	s.mu.Lock()
+	j.State = jobRunning
+	s.publishJobGauges()
+	s.mu.Unlock()
+
+	r := upmgo.SweepRunner{
+		Jobs:  s.jobsWide,
+		Cache: s.cache,
+		OnEvent: func(ev upmgo.SweepEvent) {
+			upmgo.PublishSweepEvent(s.reg, s.cache, ev)
+			if ev.Done {
+				s.mu.Lock()
+				j.CellsDone++
+				s.mu.Unlock()
+			}
+		},
+	}
+	res, err := r.Sweep(ctx, j.Request)
+
+	s.mu.Lock()
+	if err != nil {
+		j.State = jobFailed
+		j.Error = err.Error()
+	} else {
+		j.State = jobDone
+		j.Result = &res
+	}
+	s.publishJobGauges()
+	s.mu.Unlock()
+}
+
+// publishJobGauges re-derives the per-state job counts. Called under
+// s.mu on every transition; the registry locks internally.
+func (s *server) publishJobGauges() {
+	counts := map[jobState]int{}
+	for _, j := range s.jobs {
+		counts[j.State]++
+	}
+	for _, st := range []jobState{jobQueued, jobRunning, jobDone, jobFailed} {
+		s.reg.Set("upmgo_sweepd_jobs", upmgo.MetricsLabels{"state": string(st)}, float64(counts[st]))
+	}
+}

@@ -2,9 +2,12 @@ package exp
 
 import (
 	"context"
+	"errors"
+	"strings"
 	"sync"
 
 	"upmgo/internal/nas"
+	"upmgo/internal/store"
 )
 
 // Cache memoizes completed cells across sweeps, keyed by CellSpec.Key.
@@ -35,6 +38,19 @@ type Cache struct {
 	// threads, seed and scale, regardless of placement or engine —
 	// verify once; extrapolating cells then skip their free-run tails.
 	verify *nas.VerifyCache
+
+	// Second level: the on-disk content-addressed result store, when
+	// attached with SetStore. Reads go through (RAM, then disk, then
+	// simulate) and completed simulations are written behind — after the
+	// in-flight waiters are released, off every other cell's critical
+	// path. Store failures never fail a cell: a corrupt record re-reads
+	// as a miss (the re-simulation's Put repairs it) and a failed write
+	// only bumps storeErrs.
+	store        *store.Store
+	diskHits     uint64
+	storePuts    uint64
+	storeErrs    uint64
+	lastStoreErr error
 }
 
 type inflightCell struct {
@@ -62,9 +78,12 @@ func NewCache() *Cache {
 
 // CacheStats is a snapshot of memoization traffic.
 type CacheStats struct {
-	// Hits counts cells served without a new simulation (recalled, or
-	// joined onto one already in flight).
+	// Hits counts cells served without a new simulation (recalled from
+	// RAM, or joined onto one already in flight).
 	Hits uint64
+	// DiskHits counts cells recalled from the attached result store —
+	// simulated by an earlier process, never by this one.
+	DiskHits uint64
 	// Misses counts cells that ran a fresh simulation (from scratch or by
 	// forking a prefix snapshot).
 	Misses uint64
@@ -74,13 +93,34 @@ type CacheStats struct {
 	// Prefixes counts cold-start prefix simulations (each is shared by
 	// every forked cell with the same prefix fingerprint).
 	Prefixes uint64
+	// StorePuts counts cells persisted to the store; StoreErrors counts
+	// store reads or writes that failed (the cells themselves still
+	// succeeded), with StoreErr holding the most recent failure.
+	StorePuts   uint64
+	StoreErrors uint64
+	StoreErr    error
 }
 
 // Stats returns a snapshot of the hit/miss counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Forked: c.forked, Prefixes: c.prefixSims}
+	return CacheStats{Hits: c.hits, DiskHits: c.diskHits, Misses: c.misses,
+		Forked: c.forked, Prefixes: c.prefixSims,
+		StorePuts: c.storePuts, StoreErrors: c.storeErrs, StoreErr: c.lastStoreErr}
+}
+
+// SetStore attaches an on-disk result store as the cache's second level:
+// cells missing from RAM are looked up on disk before simulating, and
+// every fresh simulation is persisted, so later processes sharing the
+// directory warm-start (`sweep -all -store dir` twice simulates nothing
+// the second time). Cross-process identity is the store's contract: a
+// recalled Result decodes bit-identical to the one the writing process
+// computed. Attach before the first sweep; a nil store detaches.
+func (c *Cache) SetStore(s *store.Store) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.store = s
 }
 
 // Len returns the number of completed cells held.
@@ -97,8 +137,14 @@ func (c *Cache) Len() int {
 // cancelled, which says nothing about a waiter's prospects. A waiter that
 // survives a failed flight (its own ctx still live) retries, becoming the
 // new leader if nobody beat it to the slot. The bool reports whether the
-// cell was served from the cache (or a successful in-flight duplicate)
-// rather than by this call's own simulation.
+// cell was served from the cache (RAM, disk, or a successful in-flight
+// duplicate) rather than by this call's own simulation.
+//
+// With a store attached the leader reads through it before simulating —
+// an intact record short-circuits fn entirely — and writes behind it
+// after: the RAM fill and waiter release happen first, so no other cell
+// ever waits on disk I/O. A corrupt record is counted, skipped and
+// repaired by the post-simulation write.
 func (c *Cache) cell(ctx context.Context, key string, fn func() (Cell, error)) (Cell, bool, error) {
 	for {
 		c.mu.Lock()
@@ -132,6 +178,31 @@ func (c *Cache) cell(ctx context.Context, key string, fn func() (Cell, error)) (
 		}
 		f := &inflightCell{done: make(chan struct{})}
 		c.inflight[key] = f
+		st := c.store
+		c.mu.Unlock()
+
+		// Read through the store: a cell another process already
+		// simulated is recalled, not recomputed. The disk read happens
+		// under the in-flight slot, so concurrent requests for the same
+		// key coalesce onto one read exactly as they would onto one
+		// simulation.
+		if st != nil {
+			if res, err := st.Get(key); err == nil {
+				bench, _, _ := strings.Cut(key, "\x00")
+				f.cell = Cell{Bench: bench, Label: res.Label, Result: res}
+				c.mu.Lock()
+				c.cells[key] = f.cell
+				c.diskHits++
+				delete(c.inflight, key)
+				c.mu.Unlock()
+				close(f.done)
+				return f.cell, true, nil
+			} else if !errors.Is(err, store.ErrNotFound) {
+				c.noteStoreErr(err)
+			}
+		}
+
+		c.mu.Lock()
 		c.misses++
 		c.mu.Unlock()
 
@@ -144,8 +215,29 @@ func (c *Cache) cell(ctx context.Context, key string, fn func() (Cell, error)) (
 		}
 		c.mu.Unlock()
 		close(f.done)
+
+		// Write behind: waiters are already released; only this cell's
+		// own caller pays for the persist, and a failure (disk full,
+		// permissions) degrades to an unpersisted cell, not a failed one.
+		if f.err == nil && st != nil {
+			if err := st.Put(key, f.cell.Bench, f.cell.Result); err != nil {
+				c.noteStoreErr(err)
+			} else {
+				c.mu.Lock()
+				c.storePuts++
+				c.mu.Unlock()
+			}
+		}
 		return f.cell, false, f.err
 	}
+}
+
+// noteStoreErr records a non-fatal store failure for Stats.
+func (c *Cache) noteStoreErr(err error) {
+	c.mu.Lock()
+	c.storeErrs++
+	c.lastStoreErr = err
+	c.mu.Unlock()
 }
 
 // prefix returns the cached prefix snapshot for key, simulating it with

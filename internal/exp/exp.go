@@ -62,9 +62,9 @@ func Builder(name string) (nas.Builder, bool) {
 
 // Cell is one bar of a figure.
 type Cell struct {
-	Bench  string
-	Label  string
-	Result nas.Result
+	Bench  string     `json:"bench"`
+	Label  string     `json:"label"`
+	Result nas.Result `json:"result"`
 }
 
 // Seconds returns the cell's main-loop time in virtual seconds.
@@ -154,23 +154,25 @@ func WriteTable1(w io.Writer) error {
 	return nil
 }
 
-// SweepOptions selects what a figure sweep runs.
+// SweepOptions selects what a figure sweep runs. The JSON form (all
+// fields optional; zero values mean the figure's defaults) is the
+// "options" object of cmd/sweepd's POST /v1/jobs body.
 type SweepOptions struct {
-	Class   nas.Class
-	Benches []string // nil = the figure's default set (all five; BT+SP for Figure 5)
-	Seed    uint64
+	Class   nas.Class `json:"class"`
+	Benches []string  `json:"benches,omitempty"` // nil = the figure's default set (all five; BT+SP for Figure 5)
+	Seed    uint64    `json:"seed,omitempty"`
 	// Scale repeats each phase body in place (the paper's synthetic
 	// scaling; Figure 5 runs 1, Figure 6 runs 4). 0 = the figure's
 	// default. Ignored by Figures 1/4 and Table 2, which the paper runs
 	// at native phase length only.
-	Scale      int
-	Iterations int // 0 = class default
+	Scale      int `json:"scale,omitempty"`
+	Iterations int `json:"iterations,omitempty"` // 0 = class default
 	// Threads sets the simulated team size; 0 = all CPUs (the paper's
 	// setup). Threads 1 makes every cell's simulation exactly
 	// reproducible: multi-threaded teams are deterministic only up to
 	// the simulator's intra-team interleaving (see the equivalence
 	// contract in internal/nas).
-	Threads int
+	Threads int `json:"threads,omitempty"`
 	// Steady arms the steady-state detector on every cell
 	// (nas.Config.SteadyState); with Extrapolate also set, each cell
 	// fast-forwards its tail once the per-iteration delta is proven to
@@ -178,8 +180,8 @@ type SweepOptions struct {
 	// quantity stays bit-identical (the contract internal/nas's
 	// steady-state tests enforce). Steady without Extrapolate is
 	// detection-only: full simulation plus Result.SteadyAt.
-	Steady      bool
-	Extrapolate bool
+	Steady      bool `json:"steady,omitempty"`
+	Extrapolate bool `json:"extrapolate,omitempty"`
 }
 
 func (o *SweepOptions) defaults() {
@@ -262,13 +264,13 @@ func Figure4(o SweepOptions) ([]Cell, error) {
 
 // Table2Row is one line of the paper's Table 2.
 type Table2Row struct {
-	Bench string
+	Bench string `json:"bench"`
 	// SlowdownTail[p] is the slowdown vs first-touch measured over the
 	// last 75% of the iterations, per non-ft placement.
-	SlowdownTail map[string]float64
+	SlowdownTail map[string]float64 `json:"slowdown_tail"`
 	// FirstIterFrac[p] is the fraction of UPMlib page migrations that
 	// happened in the first invocation.
-	FirstIterFrac map[string]float64
+	FirstIterFrac map[string]float64 `json:"first_iter_frac"`
 }
 
 // table2Placements are the non-ft placements Table 2 compares against
@@ -321,12 +323,12 @@ func tailSlowdown(iters, base []int64) float64 {
 // Figure5Cell is one bar of Figure 5: total time plus the non-overlapped
 // migration overhead (the striped bar segment).
 type Figure5Cell struct {
-	Bench      string
-	Label      string
-	Seconds    float64
-	OverheadS  float64 // UPMlib overhead charged on the critical path
-	PhaseS     float64 // cumulative marked-phase (z_solve) time
-	Migrations int64
+	Bench      string  `json:"bench"`
+	Label      string  `json:"label"`
+	Seconds    float64 `json:"seconds"`
+	OverheadS  float64 `json:"overhead_s"` // UPMlib overhead charged on the critical path
+	PhaseS     float64 `json:"phase_s"`    // cumulative marked-phase (z_solve) time
+	Migrations int64   `json:"migrations"`
 }
 
 // Figure5Specs enumerates the paper's Figure 5/6 cells in presentation
@@ -379,20 +381,6 @@ func Figure5Specs(o SweepOptions) []CellSpec {
 // o.Benches (default BT and SP) at o.Scale (default 1).
 func Figure5(o SweepOptions) ([]Figure5Cell, error) {
 	return Runner{}.Figure5(context.Background(), o)
-}
-
-// Figure5Scaled is the old positional form of Figure5.
-//
-// Deprecated: set SweepOptions.Benches and SweepOptions.Scale and call
-// Figure5 (or Runner.Figure5) instead.
-func Figure5Scaled(o SweepOptions, benches []string, scale int) ([]Figure5Cell, error) {
-	if benches != nil {
-		o.Benches = benches
-	}
-	if scale != 0 {
-		o.Scale = scale
-	}
-	return Figure5(o)
 }
 
 // Figure6 reproduces the paper's Figure 6: the synthetically scaled BT

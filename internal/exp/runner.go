@@ -339,75 +339,34 @@ func (r Runner) writeMetrics(spec CellSpec, s *metrics.Sampler) error {
 
 // Figure1 runs the paper's Figure 1 sweep (see Figure1Specs) on the pool.
 func (r Runner) Figure1(ctx context.Context, o SweepOptions) ([]Cell, error) {
-	return r.Cells(ctx, Figure1Specs(o))
+	res, err := r.Sweep(ctx, SweepRequest{Kind: KindFigure1, Options: o})
+	return res.Cells, err
 }
 
 // Figure4 runs the paper's Figure 4 sweep (see Figure4Specs) on the pool.
 func (r Runner) Figure4(ctx context.Context, o SweepOptions) ([]Cell, error) {
-	return r.Cells(ctx, Figure4Specs(o))
+	res, err := r.Sweep(ctx, SweepRequest{Kind: KindFigure4, Options: o})
+	return res.Cells, err
 }
 
 // Table2 runs the paper's Table 2 cells (see Table2Specs) on the pool
 // and assembles the rows.
 func (r Runner) Table2(ctx context.Context, o SweepOptions) ([]Table2Row, error) {
-	o.defaults()
-	cells, err := r.Cells(ctx, Table2Specs(o))
-	if err != nil {
-		return nil, err
-	}
-	per := 1 + len(table2Placements)
-	var out []Table2Row
-	for i, bench := range o.Benches {
-		ft := cells[i*per]
-		row := Table2Row{Bench: bench, SlowdownTail: map[string]float64{}, FirstIterFrac: map[string]float64{}}
-		for j, p := range table2Placements {
-			c := cells[i*per+1+j]
-			row.SlowdownTail[p.String()] = tailSlowdown(c.Result.IterPS, ft.Result.IterPS)
-			if m := c.Result.UPM.Migrations; m > 0 {
-				row.FirstIterFrac[p.String()] = float64(c.Result.UPM.FirstInvocation) / float64(m)
-			} else {
-				row.FirstIterFrac[p.String()] = 1
-			}
-		}
-		out = append(out, row)
-	}
-	return out, nil
+	res, err := r.Sweep(ctx, SweepRequest{Kind: KindTable2, Options: o})
+	return res.Table2, err
 }
 
 // Figure5 runs the paper's Figure 5 sweep (see Figure5Specs) on the
 // pool: o.Benches (default BT and SP) under ft / ft-IRIXmig / ft-upmlib
 // / ft-recrep at o.Scale (default 1).
 func (r Runner) Figure5(ctx context.Context, o SweepOptions) ([]Figure5Cell, error) {
-	cells, err := r.Cells(ctx, Figure5Specs(o))
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Figure5Cell, len(cells))
-	for i, c := range cells {
-		var phase int64
-		for _, p := range c.Result.PhasePS {
-			phase += p
-		}
-		out[i] = Figure5Cell{
-			Bench:      c.Bench,
-			Label:      c.Label,
-			Seconds:    c.Seconds(),
-			OverheadS:  float64(c.Result.UPM.OverheadPS) / 1e12,
-			PhaseS:     float64(phase) / 1e12,
-			Migrations: c.Result.UPM.Migrations + c.Result.UPM.ReplayMigrations + c.Result.UPM.UndoMigrations,
-		}
-	}
-	return out, nil
+	res, err := r.Sweep(ctx, SweepRequest{Kind: KindFigure5, Options: o})
+	return res.Figure5, err
 }
 
 // Figure6 is Figure5 with the paper's Figure 6 defaults: the
 // synthetically scaled BT (Scale 4) unless o overrides them.
 func (r Runner) Figure6(ctx context.Context, o SweepOptions) ([]Figure5Cell, error) {
-	if o.Benches == nil {
-		o.Benches = []string{"BT"}
-	}
-	if o.Scale == 0 {
-		o.Scale = 4
-	}
-	return r.Figure5(ctx, o)
+	res, err := r.Sweep(ctx, SweepRequest{Kind: KindFigure6, Options: o})
+	return res.Figure5, err
 }

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"reflect"
 	"sync"
@@ -217,22 +218,53 @@ func TestRunnerUnknownBenchmarkSentinel(t *testing.T) {
 	}
 }
 
-// TestFigure5ScaledDeprecatedWrapper pins the old positional signature
-// to the new options form.
-func TestFigure5ScaledDeprecatedWrapper(t *testing.T) {
+// TestSweepMatchesWrappers pins the unified entry point to the named
+// wrappers: Sweep(KindFigure6) and Figure6 must produce identical cells,
+// and an unknown kind must fail with the sentinel before any simulation.
+func TestSweepMatchesWrappers(t *testing.T) {
 	// Threads 1: comparing two fresh runs needs exact reproducibility.
-	o := SweepOptions{Class: nas.ClassS, Seed: 42, Iterations: 3, Threads: 1}
-	old, err := Figure5Scaled(o, []string{"BT"}, 4)
+	o := SweepOptions{Class: nas.ClassS, Seed: 42, Iterations: 3, Threads: 1, Benches: []string{"BT"}}
+	res, err := Sweep(SweepRequest{Kind: KindFigure6, Options: o})
 	if err != nil {
 		t.Fatal(err)
 	}
-	o.Benches, o.Scale = []string{"BT"}, 4
-	now, err := Figure5(o)
+	direct, err := Figure6(o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(old, now) {
-		t.Error("Figure5Scaled(o, benches, scale) != Figure5 with Benches/Scale options")
+	if !reflect.DeepEqual(res.Figure5, direct) {
+		t.Error("Sweep(KindFigure6) != Figure6 with the same options")
+	}
+	if res.Kind != KindFigure6 || res.Len() != len(direct) {
+		t.Errorf("SweepResult kind/len = %s/%d, want %s/%d", res.Kind, res.Len(), KindFigure6, len(direct))
+	}
+	if _, err := Sweep(SweepRequest{Kind: "figure9", Options: o}); !errors.Is(err, ErrUnknownKind) {
+		t.Errorf("unknown kind returned %v, want ErrUnknownKind", err)
+	}
+	if _, err := SweepSpecs(SweepRequest{Kind: "figure9"}); !errors.Is(err, ErrUnknownKind) {
+		t.Errorf("SweepSpecs with unknown kind returned %v, want ErrUnknownKind", err)
+	}
+}
+
+// TestKindJSONRoundTrip: the enum validates on both marshal and
+// unmarshal, so a bad "kind" fails at decode time.
+func TestKindJSONRoundTrip(t *testing.T) {
+	blob, err := json.Marshal(SweepRequest{Kind: KindTable2, Options: SweepOptions{Class: nas.ClassW, Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req SweepRequest
+	if err := json.Unmarshal(blob, &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Kind != KindTable2 || req.Options.Class != nas.ClassW || req.Options.Seed != 7 {
+		t.Errorf("round trip mangled the request: %+v", req)
+	}
+	if err := json.Unmarshal([]byte(`{"kind":"figure9"}`), &req); err == nil {
+		t.Error("bad kind decoded without error")
+	}
+	if _, err := json.Marshal(SweepRequest{Kind: "nope"}); err == nil {
+		t.Error("bad kind encoded without error")
 	}
 }
 

@@ -1,0 +1,206 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Kind names one of the paper's five sweeps. It is the discriminator of
+// SweepRequest — the same value that appears in the wire form of
+// cmd/sweepd's POST /v1/jobs body — and marshals as its string name.
+type Kind string
+
+// The paper's sweeps, in presentation order.
+const (
+	KindFigure1 Kind = "figure1" // Figure 1: four placements × {plain, IRIX kernel migration}
+	KindFigure4 Kind = "figure4" // Figure 4: Figure 1 plus a UPMlib cell per placement
+	KindTable2  Kind = "table2"  // Table 2: steady-state slowdown and migration timing
+	KindFigure5 Kind = "figure5" // Figure 5: record–replay on BT and SP
+	KindFigure6 Kind = "figure6" // Figure 6: record–replay on the synthetically scaled BT
+)
+
+// Kinds lists every valid Kind in presentation order.
+var Kinds = []Kind{KindFigure1, KindFigure4, KindTable2, KindFigure5, KindFigure6}
+
+// ErrUnknownKind reports a Kind outside the paper's five sweeps. Callers
+// match it with errors.Is; cmd/sweepd maps it to 400 Bad Request.
+var ErrUnknownKind = errors.New("unknown sweep kind")
+
+// ParseKind converts a string to a Kind, or ErrUnknownKind.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds {
+		if string(k) == s {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("exp: %w: %q", ErrUnknownKind, s)
+}
+
+func (k Kind) String() string { return string(k) }
+
+// MarshalText lets Kind serialize inside JSON job specs.
+func (k Kind) MarshalText() ([]byte, error) {
+	if _, err := ParseKind(string(k)); err != nil {
+		return nil, err
+	}
+	return []byte(k), nil
+}
+
+// UnmarshalText validates on the way in, so a bad "kind" field fails at
+// decode time, not deep inside a dispatch.
+func (k *Kind) UnmarshalText(b []byte) error {
+	parsed, err := ParseKind(string(b))
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
+}
+
+// SweepRequest is the one request surface for every sweep: which figure
+// or table to produce, and the options its cells run under. Its JSON
+// form is exactly cmd/sweepd's POST /v1/jobs body.
+type SweepRequest struct {
+	Kind    Kind         `json:"kind"`
+	Options SweepOptions `json:"options"`
+}
+
+// SweepResult carries whichever shape the request's Kind produces:
+// Cells for Figures 1 and 4, Table2 for Table 2, Figure5 for Figures 5
+// and 6. Exactly one of the three payload fields is non-nil on success.
+type SweepResult struct {
+	Kind    Kind          `json:"kind"`
+	Cells   []Cell        `json:"cells,omitempty"`
+	Table2  []Table2Row   `json:"table2,omitempty"`
+	Figure5 []Figure5Cell `json:"figure5,omitempty"`
+}
+
+// Sweep runs one sweep with a default Runner (parallel, unmemoized).
+// For cancellation, shared caching and progress, use Runner.Sweep.
+func Sweep(req SweepRequest) (SweepResult, error) {
+	return Runner{}.Sweep(context.Background(), req)
+}
+
+// Sweep dispatches one request to the pool. It is the single entry
+// point behind the Figure1/Figure4/Table2/Figure5/Figure6 wrappers and
+// behind cmd/sweepd's job executor; an unknown Kind fails with
+// ErrUnknownKind before any cell starts.
+func (r Runner) Sweep(ctx context.Context, req SweepRequest) (SweepResult, error) {
+	out := SweepResult{Kind: req.Kind}
+	var err error
+	switch req.Kind {
+	case KindFigure1:
+		out.Cells, err = r.Cells(ctx, Figure1Specs(req.Options))
+	case KindFigure4:
+		out.Cells, err = r.Cells(ctx, Figure4Specs(req.Options))
+	case KindTable2:
+		out.Table2, err = r.table2(ctx, req.Options)
+	case KindFigure5:
+		out.Figure5, err = r.figure5(ctx, req.Options)
+	case KindFigure6:
+		out.Figure5, err = r.figure5(ctx, figure6Options(req.Options))
+	default:
+		return SweepResult{}, fmt.Errorf("exp: %w: %q", ErrUnknownKind, req.Kind)
+	}
+	if err != nil {
+		return SweepResult{Kind: req.Kind}, err
+	}
+	return out, nil
+}
+
+// SweepSpecs enumerates the cells a request would run, in presentation
+// order, without running them. cmd/sweepd uses it to size a job's
+// progress denominator at submission time.
+func SweepSpecs(req SweepRequest) ([]CellSpec, error) {
+	switch req.Kind {
+	case KindFigure1:
+		return Figure1Specs(req.Options), nil
+	case KindFigure4:
+		return Figure4Specs(req.Options), nil
+	case KindTable2:
+		return Table2Specs(req.Options), nil
+	case KindFigure5:
+		return Figure5Specs(req.Options), nil
+	case KindFigure6:
+		return Figure5Specs(figure6Options(req.Options)), nil
+	default:
+		return nil, fmt.Errorf("exp: %w: %q", ErrUnknownKind, req.Kind)
+	}
+}
+
+// figure6Options applies the paper's Figure 6 defaults — the
+// synthetically scaled BT (Scale 4) — unless o overrides them.
+func figure6Options(o SweepOptions) SweepOptions {
+	if o.Benches == nil {
+		o.Benches = []string{"BT"}
+	}
+	if o.Scale == 0 {
+		o.Scale = 4
+	}
+	return o
+}
+
+// table2 runs the Table 2 cells and assembles the rows.
+func (r Runner) table2(ctx context.Context, o SweepOptions) ([]Table2Row, error) {
+	o.defaults()
+	cells, err := r.Cells(ctx, Table2Specs(o))
+	if err != nil {
+		return nil, err
+	}
+	per := 1 + len(table2Placements)
+	var out []Table2Row
+	for i, bench := range o.Benches {
+		ft := cells[i*per]
+		row := Table2Row{Bench: bench, SlowdownTail: map[string]float64{}, FirstIterFrac: map[string]float64{}}
+		for j, p := range table2Placements {
+			c := cells[i*per+1+j]
+			row.SlowdownTail[p.String()] = tailSlowdown(c.Result.IterPS, ft.Result.IterPS)
+			if m := c.Result.UPM.Migrations; m > 0 {
+				row.FirstIterFrac[p.String()] = float64(c.Result.UPM.FirstInvocation) / float64(m)
+			} else {
+				row.FirstIterFrac[p.String()] = 1
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// figure5 runs the Figure 5/6 cells and derives the bar segments.
+func (r Runner) figure5(ctx context.Context, o SweepOptions) ([]Figure5Cell, error) {
+	cells, err := r.Cells(ctx, Figure5Specs(o))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Figure5Cell, len(cells))
+	for i, c := range cells {
+		var phase int64
+		for _, p := range c.Result.PhasePS {
+			phase += p
+		}
+		out[i] = Figure5Cell{
+			Bench:      c.Bench,
+			Label:      c.Label,
+			Seconds:    c.Seconds(),
+			OverheadS:  float64(c.Result.UPM.OverheadPS) / 1e12,
+			PhaseS:     float64(phase) / 1e12,
+			Migrations: c.Result.UPM.Migrations + c.Result.UPM.ReplayMigrations + c.Result.UPM.UndoMigrations,
+		}
+	}
+	return out, nil
+}
+
+// Len reports the number of rows/cells in the result, whatever its
+// shape — the unit of a job's progress report.
+func (res SweepResult) Len() int {
+	switch {
+	case res.Cells != nil:
+		return len(res.Cells)
+	case res.Table2 != nil:
+		return len(res.Table2)
+	case res.Figure5 != nil:
+		return len(res.Figure5)
+	}
+	return 0
+}

@@ -25,17 +25,17 @@ import (
 type Config struct {
 	// Threshold is the excess of remote over home accesses that triggers
 	// a migration (the IRIX "predefined threshold").
-	Threshold uint32
+	Threshold uint32 `json:"threshold,omitempty"`
 	// MaxPerScan bounds migrations applied at one barrier, modelling the
 	// kernel's resource-management throttle. 0 means the default.
-	MaxPerScan int
+	MaxPerScan int `json:"max_per_scan,omitempty"`
 	// ScanEvery applies the policy only at every k-th barrier, modelling
 	// the bounded rate at which interrupts fire. 0 means every barrier.
-	ScanEvery int
+	ScanEvery int `json:"scan_every,omitempty"`
 	// DecayEvery halves every page's counters at every k-th scan (the
 	// kernel's aging step; it also un-saturates the 11-bit counters).
 	// 0 means the default; negative disables decay.
-	DecayEvery int
+	DecayEvery int `json:"decay_every,omitempty"`
 	// MinScanPS spaces scans by simulated time: a barrier is eligible to
 	// scan only when at least this many picoseconds have passed since the
 	// last scan. The real daemon runs off the clock tick, not off every
@@ -46,7 +46,7 @@ type Config struct {
 	// step). 0 means the default (64 page-migration costs, bounding the
 	// worst-case scan overhead to a fraction of runtime); negative disables
 	// the spacing so every barrier is eligible.
-	MinScanPS int64
+	MinScanPS int64 `json:"min_scan_ps,omitempty"`
 }
 
 // DefaultConfig mirrors the spirit of the IRIX defaults: migrate on a

@@ -459,16 +459,17 @@ func (m *Machine) Stats() Stats {
 	return s
 }
 
-// Stats summarises memory-system activity.
+// Stats summarises memory-system activity. The JSON tags are the wire
+// form used by the sweep result store and the sweepd job API.
 type Stats struct {
-	Accesses   uint64
-	L1Miss     uint64
-	L2Miss     uint64
-	TLBMiss    uint64
-	LocalMem   uint64 // L2 misses served by the local node
-	RemoteMem  uint64 // L2 misses served remotely
-	Faults     uint64
-	Migrations int64
+	Accesses   uint64 `json:"accesses"`
+	L1Miss     uint64 `json:"l1_miss"`
+	L2Miss     uint64 `json:"l2_miss"`
+	TLBMiss    uint64 `json:"tlb_miss"`
+	LocalMem   uint64 `json:"local_mem"`  // L2 misses served by the local node
+	RemoteMem  uint64 `json:"remote_mem"` // L2 misses served remotely
+	Faults     uint64 `json:"faults"`
+	Migrations int64  `json:"migrations"`
 }
 
 // RemoteRatio returns the fraction of memory accesses served remotely.

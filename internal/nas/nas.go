@@ -7,6 +7,7 @@ package nas
 
 import (
 	"fmt"
+	"strings"
 
 	"upmgo/internal/kmig"
 	"upmgo/internal/machine"
@@ -36,6 +37,36 @@ const (
 
 // String returns "S", "W" or "A".
 func (c Class) String() string { return [...]string{"S", "W", "A"}[c] }
+
+// MarshalText encodes the class as its letter, so JSON sweep requests and
+// store records carry "W" rather than a bare enum integer.
+func (c Class) MarshalText() ([]byte, error) {
+	if c < ClassS || c > ClassA {
+		return nil, fmt.Errorf("nas: cannot encode Class(%d)", int(c))
+	}
+	return []byte(c.String()), nil
+}
+
+// UnmarshalText decodes a class letter (case-insensitive).
+func (c *Class) UnmarshalText(text []byte) error {
+	cl, err := ParseClass(string(text))
+	if err != nil {
+		return err
+	}
+	*c = cl
+	return nil
+}
+
+// ParseClass maps a class letter ("S", "W", "A", either case) to its
+// Class, the inverse of String.
+func ParseClass(s string) (Class, error) {
+	for _, c := range []Class{ClassS, ClassW, ClassA} {
+		if strings.EqualFold(s, c.String()) {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("nas: unknown class %q (want S, W or A)", s)
+}
 
 // MachineTweak scales the simulated machine with the class: cache sizes
 // shrink so the per-thread working set exceeds L2 the way NAS Class A
@@ -79,6 +110,25 @@ const (
 
 // String returns a short label.
 func (m Mode) String() string { return [...]string{"off", "upmlib", "recrep"}[m] }
+
+// MarshalText encodes the mode as its short label.
+func (m Mode) MarshalText() ([]byte, error) {
+	if m < UPMOff || m > UPMRecRep {
+		return nil, fmt.Errorf("nas: cannot encode Mode(%d)", int(m))
+	}
+	return []byte(m.String()), nil
+}
+
+// UnmarshalText decodes a short label produced by MarshalText.
+func (m *Mode) UnmarshalText(text []byte) error {
+	for _, q := range []Mode{UPMOff, UPMDistribute, UPMRecRep} {
+		if string(text) == q.String() {
+			*m = q
+			return nil
+		}
+	}
+	return fmt.Errorf("nas: unknown UPM mode %q (want off, upmlib or recrep)", text)
+}
 
 // Hooks are the serial-section calls a kernel makes around its
 // phase-change phase (z_solve in BT/SP). The driver fills them per step to
@@ -156,34 +206,39 @@ type Kernel interface {
 // Builder constructs a kernel on a machine at a class and compute scale.
 type Builder func(m *machine.Machine, class Class, scale int, seed uint64) Kernel
 
-// Config selects one experiment cell.
+// Config selects one experiment cell. The JSON tags define the wire form
+// used by sweep requests (cmd/sweepd's POST /v1/jobs) and store records:
+// enums encode as their figure labels (Class "W", Placement "ft", UPM
+// "upmlib") via their MarshalText methods, and the non-serializable
+// observation hooks (Tweak, Tracer, Metrics, TailCache) are excluded —
+// exactly the fields Fingerprint refuses to encode.
 type Config struct {
-	Class      Class
-	Placement  vm.Policy
-	KernelMig  bool        // IRIX-style kernel engine on
-	UPM        Mode        // user-level engine protocol
-	UPMOptions upm.Options // zero = paper defaults
-	Kmig       kmig.Config // zero = defaults
-	Threads    int         // 0 = all CPUs
-	Iterations int         // 0 = class default
+	Class      Class       `json:"class"`
+	Placement  vm.Policy   `json:"placement"`
+	KernelMig  bool        `json:"kernel_mig,omitempty"` // IRIX-style kernel engine on
+	UPM        Mode        `json:"upm,omitempty"`        // user-level engine protocol
+	UPMOptions upm.Options `json:"upm_options"`          // zero = paper defaults
+	Kmig       kmig.Config `json:"kmig"`                 // zero = defaults
+	Threads    int         `json:"threads,omitempty"`    // 0 = all CPUs
+	Iterations int         `json:"iterations,omitempty"` // 0 = class default
 	// ComputeScale repeats each phase's body (the paper's synthetic
 	// scaling in Figure 6). 0 or 1 = normal.
-	ComputeScale int
+	ComputeScale int `json:"compute_scale,omitempty"`
 	// PerturbAt models OS scheduler interference (the multiprogramming
 	// case the paper defers to its companion work): after iteration
 	// PerturbAt the thread-to-CPU binding rotates by one node, stranding
 	// every thread's pages on its old node. UPMlib, if enabled, is
 	// reactivated to repair the damage. 0 = never.
-	PerturbAt int
-	Seed      uint64
+	PerturbAt int    `json:"perturb_at,omitempty"`
+	Seed      uint64 `json:"seed,omitempty"`
 	// Tweak adjusts the machine configuration after class defaults
 	// (ablation benches use it).
-	Tweak func(mc *machine.Config)
+	Tweak func(mc *machine.Config) `json:"-"`
 	// Tracer, when non-nil, receives virtual-time-stamped events from
 	// every simulation layer (regions, barriers, iterations, faults,
 	// engine actions). Tracing never charges virtual time, so a traced
 	// run's numbers are bit-identical to the same config untraced.
-	Tracer trace.Tracer
+	Tracer trace.Tracer `json:"-"`
 	// Metrics, when non-nil, samples the run's NUMA locality state at
 	// every iteration mark and marked-phase boundary: per-node page
 	// residency, the reference-counter rows (read before the engine
@@ -192,10 +247,10 @@ type Config struct {
 	// observation-only — a sampled run is bit-identical in virtual time
 	// to an unsampled one — and like Tracer it makes the config
 	// unfingerprintable, so the sweep cache never serves stale metrics.
-	Metrics *metrics.Sampler
+	Metrics *metrics.Sampler `json:"-"`
 	// SkipVerify skips the numerical check (benchmarks that time very
 	// few iterations on purpose may not converge).
-	SkipVerify bool
+	SkipVerify bool `json:"skip_verify,omitempty"`
 	// SteadyState arms the steady-state detector: at the end of every
 	// timed iteration (past PerturbAt, if set) it snapshots the machine
 	// and engine counters, and when SteadyWindow consecutive iterations
@@ -203,7 +258,7 @@ type Config struct {
 	// the iteration in Result.SteadyAt. Detection is observation-only
 	// unless Extrapolate is also set. Ignored when Metrics is attached:
 	// the sampler needs every iteration simulated.
-	SteadyState bool
+	SteadyState bool `json:"steady_state,omitempty"`
 	// Extrapolate, with SteadyState, fast-forwards the run at detection:
 	// the remaining iterations' virtual time and counters are added
 	// analytically (remaining × the proven per-iteration delta) and the
@@ -211,17 +266,17 @@ type Config struct {
 	// numerics still reach their exact final state for Verify. Every
 	// virtual-time quantity of the Result is bit-identical to the fully
 	// simulated run (steady_test.go proves it per benchmark and engine).
-	Extrapolate bool
+	Extrapolate bool `json:"extrapolate,omitempty"`
 	// SteadyWindow is the number of consecutive identical deltas that
 	// proves steadiness. 0 means the default (3).
-	SteadyWindow int
+	SteadyWindow int `json:"steady_window,omitempty"`
 	// TailCache, when non-nil, shares verification outcomes between runs
 	// with identical numerics (see VerifyCache). An extrapolating run
 	// that finds its trajectory already verified skips the free-run
 	// re-execution of its tail; every verified run seeds the cache.
 	// Attach one cache per sweep. Results are bit-identical with or
 	// without it, so it does not partition the fingerprint space.
-	TailCache *VerifyCache
+	TailCache *VerifyCache `json:"-"`
 }
 
 // Fingerprint returns a canonical text encoding of the configuration,
@@ -316,25 +371,30 @@ func (c Config) Label() string {
 	}
 }
 
-// Result reports one run.
+// Result reports one run. The JSON tags define the store-record and job-API
+// payload form; every timing field is an integer picosecond count, so the
+// JSON round-trip is exact and a decoded Result is bit-identical to the
+// one encoded (the invariant internal/store's tests pin). VerifyErr is
+// excluded: only verified results are ever persisted or served, and an
+// error value has no canonical encoding.
 type Result struct {
-	Kernel string
-	Label  string
-	Class  Class
+	Kernel string `json:"kernel"`
+	Label  string `json:"label"`
+	Class  Class  `json:"class"`
 
-	TotalPS int64   // virtual time of the main loop
-	ColdPS  int64   // virtual time of the cold-start iteration
-	IterPS  []int64 // per-iteration virtual times
-	PhasePS []int64 // per-iteration marked-phase durations (BT/SP)
+	TotalPS int64   `json:"total_ps"`           // virtual time of the main loop
+	ColdPS  int64   `json:"cold_ps"`            // virtual time of the cold-start iteration
+	IterPS  []int64 `json:"iter_ps"`            // per-iteration virtual times
+	PhasePS []int64 `json:"phase_ps,omitempty"` // per-iteration marked-phase durations (BT/SP)
 
-	UPM        upm.Stats
-	KmigMoves  int64
-	KmigCost   int64
-	Mach       machine.Stats
-	PagesTotal int // hot pages monitored
+	UPM        upm.Stats     `json:"upm"`
+	KmigMoves  int64         `json:"kmig_moves,omitempty"`
+	KmigCost   int64         `json:"kmig_cost,omitempty"`
+	Mach       machine.Stats `json:"mach"`
+	PagesTotal int           `json:"pages_total,omitempty"` // hot pages monitored
 
-	Verified  bool
-	VerifyErr error
+	Verified  bool  `json:"verified"`
+	VerifyErr error `json:"-"`
 
 	// SteadyAt is the iteration at whose end the steady-state detector
 	// (Config.SteadyState) proved the per-iteration delta repeats; 0 when
@@ -343,8 +403,8 @@ type Result struct {
 	// (Config.Extrapolate); their IterPS/PhasePS entries are the proven
 	// per-iteration deltas, so the sum contracts over IterPS and TotalPS
 	// hold exactly as in a fully simulated run.
-	SteadyAt          int
-	ExtrapolatedIters int
+	SteadyAt          int `json:"steady_at,omitempty"`
+	ExtrapolatedIters int `json:"extrapolated_iters,omitempty"`
 }
 
 // Seconds returns the main-loop virtual time in seconds.

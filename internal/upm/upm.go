@@ -38,21 +38,21 @@ type Options struct {
 	// Threshold is the competitive ratio thr: a page is eligible when
 	// raccmax/lacc > Threshold. The default is 2 (a remote node must
 	// reference the page at least twice as often as its home).
-	Threshold float64
+	Threshold float64 `json:"threshold,omitempty"`
 	// MinAccesses ignores pages with fewer total recorded accesses,
 	// so cold pages do not migrate on noise. Default 16.
-	MinAccesses uint32
+	MinAccesses uint32 `json:"min_accesses,omitempty"`
 	// MaxCritical bounds the pages migrated per Replay call (the paper's
 	// environment-variable n; its Figure 5 experiment sets 20).
 	// It does not bound MigrateMemory. Default 20.
-	MaxCritical int
+	MaxCritical int `json:"max_critical,omitempty"`
 	// FreezeBounces is how many consecutive-invocation back-and-forth
 	// moves a page may make before MigrateMemory freezes it. Default 1
 	// (freeze on the first detected bounce, as in the paper).
-	FreezeBounces int
+	FreezeBounces int `json:"freeze_bounces,omitempty"`
 	// ScanCostPerPage is the user-level cost of reading one page's
 	// counter row through the /proc interface. Default 300 ns.
-	ScanCostPerPage int64
+	ScanCostPerPage int64 `json:"scan_cost_per_page,omitempty"`
 }
 
 func (o *Options) setDefaults() {
@@ -73,16 +73,17 @@ func (o *Options) setDefaults() {
 	}
 }
 
-// Stats reports what the engine has done.
+// Stats reports what the engine has done. The JSON tags are the wire form
+// used by the sweep result store and the sweepd job API.
 type Stats struct {
-	Invocations      int   // MigrateMemory calls
-	Migrations       int64 // pages moved by MigrateMemory
-	FirstInvocation  int64 // of those, moved by the first invocation
-	Frozen           int64 // pages frozen for ping-ponging
-	ReplayMigrations int64 // pages moved by Replay
-	UndoMigrations   int64 // pages moved back by Undo
-	Replications     int64 // read copies created by ReplicateReadOnly
-	OverheadPS       int64 // total cost charged to the calling CPU
+	Invocations      int   `json:"invocations"`                 // MigrateMemory calls
+	Migrations       int64 `json:"migrations"`                  // pages moved by MigrateMemory
+	FirstInvocation  int64 `json:"first_invocation"`            // of those, moved by the first invocation
+	Frozen           int64 `json:"frozen,omitempty"`            // pages frozen for ping-ponging
+	ReplayMigrations int64 `json:"replay_migrations,omitempty"` // pages moved by Replay
+	UndoMigrations   int64 `json:"undo_migrations,omitempty"`   // pages moved back by Undo
+	Replications     int64 `json:"replications,omitempty"`      // read copies created by ReplicateReadOnly
+	OverheadPS       int64 `json:"overhead_ps"`                 // total cost charged to the calling CPU
 }
 
 // migOp is one page movement of a replay plan.

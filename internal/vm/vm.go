@@ -52,6 +52,29 @@ func (p Policy) String() string {
 // Policies lists every placement scheme in the order the paper plots them.
 var Policies = []Policy{FirstTouch, RoundRobin, Random, WorstCase}
 
+// MarshalText encodes the policy as its figure label ("ft", "rr", "rand",
+// "wc"), so JSON sweep requests and store records read the way the paper
+// writes them rather than as bare enum integers.
+func (p Policy) MarshalText() ([]byte, error) {
+	for _, q := range Policies {
+		if p == q {
+			return []byte(p.String()), nil
+		}
+	}
+	return nil, fmt.Errorf("vm: cannot encode Policy(%d)", int(p))
+}
+
+// UnmarshalText decodes a figure label produced by MarshalText.
+func (p *Policy) UnmarshalText(text []byte) error {
+	for _, q := range Policies {
+		if string(text) == q.String() {
+			*p = q
+			return nil
+		}
+	}
+	return fmt.Errorf("vm: unknown placement policy %q (want ft, rr, rand or wc)", text)
+}
+
 // CounterMax11 is the saturation value of the Origin2000's 11-bit per-node
 // reference counters.
 const CounterMax11 = 1<<11 - 1

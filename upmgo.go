@@ -41,6 +41,7 @@ import (
 	"upmgo/internal/metrics"
 	"upmgo/internal/nas"
 	"upmgo/internal/omp"
+	"upmgo/internal/store"
 	"upmgo/internal/trace"
 	"upmgo/internal/upm"
 	"upmgo/internal/vm"
@@ -348,6 +349,110 @@ type (
 
 // NewSweepCache returns an empty cell cache to share across sweeps.
 func NewSweepCache() *SweepCache { return exp.NewCache() }
+
+// Unified sweep request surface. Every figure and table is one
+// SweepRequest — a SweepKind plus SweepOptions — dispatched through
+// Sweep or SweepRunner.Sweep; the named Figure/Table functions below are
+// wrappers over it. The request's JSON form is exactly the body of
+// cmd/sweepd's POST /v1/jobs.
+type (
+	// SweepKind names one of the paper's five sweeps.
+	SweepKind = exp.Kind
+	// SweepRequest selects a sweep: which figure/table, and its options.
+	SweepRequest = exp.SweepRequest
+	// SweepResult carries whichever shape the kind produces (cells,
+	// Table 2 rows, or Figure 5/6 bars).
+	SweepResult = exp.SweepResult
+)
+
+// The paper's sweeps, in presentation order.
+const (
+	KindFigure1 = exp.KindFigure1
+	KindFigure4 = exp.KindFigure4
+	KindTable2  = exp.KindTable2
+	KindFigure5 = exp.KindFigure5
+	KindFigure6 = exp.KindFigure6
+)
+
+// SweepKinds lists every valid SweepKind in presentation order.
+var SweepKinds = exp.Kinds
+
+// ErrUnknownSweepKind is the sentinel wrapped by Sweep and SweepSpecs
+// for a kind outside the paper's five; match it with errors.Is
+// (cmd/sweepd maps it to 400 Bad Request).
+var ErrUnknownSweepKind = exp.ErrUnknownKind
+
+// ParseSweepKind converts a string ("figure1" … "figure6", "table2") to
+// a SweepKind, or ErrUnknownSweepKind.
+func ParseSweepKind(s string) (SweepKind, error) { return exp.ParseKind(s) }
+
+// Sweep runs one sweep request with a default SweepRunner. For
+// cancellation, shared caching and progress, use SweepRunner.Sweep.
+func Sweep(req SweepRequest) (SweepResult, error) { return exp.Sweep(req) }
+
+// SweepSpecs enumerates the cells a request would run, in presentation
+// order, without running them.
+func SweepSpecs(req SweepRequest) ([]SweepCellSpec, error) { return exp.SweepSpecs(req) }
+
+// DescribeSweepGauges registers the upmgo_sweep_cells_* metric families
+// on a registry; PublishSweepEvent keeps them current from a
+// SweepRunner's OnEvent stream. cmd/sweep's -metrics-addr endpoint and
+// cmd/sweepd's /metrics share these.
+func DescribeSweepGauges(reg *MetricsRegistry) { exp.DescribeSweepGauges(reg) }
+
+// PublishSweepEvent updates the sweep gauges for one progress event.
+func PublishSweepEvent(reg *MetricsRegistry, cache *SweepCache, ev SweepEvent) {
+	exp.PublishSweepEvent(reg, cache, ev)
+}
+
+// Content-addressed on-disk result store — the persistent second level
+// under a SweepCache (attach with SweepCache.SetStore) and the data
+// plane of cmd/sweepd's GET /v1/cells. Records are keyed by the cell's
+// memoization key, written atomically (temp file + rename), carry a
+// schema/code-version envelope and a payload hash, and decode
+// bit-identical across processes.
+type (
+	// ResultStore is one store handle; any number of handles (and
+	// processes) may share a directory.
+	ResultStore = store.Store
+	// StoreRecord is the on-disk envelope of one cell.
+	StoreRecord = store.Record
+	// StoreProvenance records which engine/class/code version wrote a
+	// record.
+	StoreProvenance = store.Provenance
+	// StoreMeta is one record's directory listing entry (ResultStore.Scan).
+	StoreMeta = store.Meta
+	// StoreCheckStats summarises a ResultStore.Check pass.
+	StoreCheckStats = store.CheckStats
+	// StoreGCStats summarises a ResultStore.GC pass.
+	StoreGCStats = store.GCStats
+)
+
+// OpenResultStore opens (creating if needed) a store directory.
+func OpenResultStore(dir string) (*ResultStore, error) { return store.Open(dir) }
+
+// StoreAddress returns the content address (hex SHA-256 of the
+// memoization key) a cell's record lives at — the {address} of
+// cmd/sweepd's GET /v1/cells/{address}.
+func StoreAddress(key string) string { return store.Address(key) }
+
+// EncodeStoreRecord renders the exact record bytes ResultStore.Put
+// would write for a cell. Record encoding is deterministic (no
+// timestamps, fixed field order), so these bytes are the byte-identity
+// yardstick: what cmd/sweepd serves from /v1/cells must equal what any
+// process encodes for the same (key, bench, result).
+func EncodeStoreRecord(key, bench string, res NASResult) ([]byte, error) {
+	return store.EncodeRecord(key, bench, res)
+}
+
+// ErrStoreNotFound reports a key with no intact record (including
+// records stale by schema or code version); ErrStoreCorrupt reports a
+// record that exists but fails its integrity checks (cmd/sweepd maps it
+// to 500). Match both with errors.Is.
+var (
+	ErrStoreNotFound = store.ErrNotFound
+	ErrStoreCorrupt  = store.ErrCorrupt
+)
 
 // WriteTable1 renders the paper's Table 1 (hierarchy latencies) to w.
 func WriteTable1(w io.Writer) error { return exp.WriteTable1(w) }
