@@ -25,14 +25,16 @@ bench:
 # Host-side (wall clock) benchmarks, recorded machine-readably: the raw
 # scalar-vs-run sweep of the bulk-access fast path, the steady-detector
 # per-iteration overhead, all five Figure 1 cells, the end-to-end sweep
-# with prefix forking on and off, and the paper-scale Class W column
-# with and without steady-state fast-forward. The combined
+# with prefix forking on and off, the 64-CPU hierarchical Figure 4
+# column (the toposcale sweep's unit of work), and the paper-scale
+# Class W column with and without steady-state fast-forward. The combined
 # `go test -json` stream is distilled by ci/benchjson into
 # BENCH_host.json (benchmark name -> ns/op, stamped with host and date);
 # check it in to extend the perf trajectory.
 BENCH_STREAM = { $(GO) test -run xxx -bench 'BenchmarkTouch(Scalar|Run)' -benchmem -json ./internal/machine; \
 	  $(GO) test -run xxx -bench 'BenchmarkSteadyStateDetect' -json ./internal/nas; \
 	  $(GO) test -run xxx -bench 'BenchmarkFigure1|BenchmarkSweepFigure4All' -benchtime 3x -json .; \
+	  $(GO) test -run xxx -bench 'BenchmarkSweepTopo64' -benchtime 3x -json .; \
 	  $(GO) test -run xxx -bench 'BenchmarkSweepClassWSteady' -benchtime 1x -json .; }
 
 bench-host:
@@ -54,6 +56,7 @@ bench-check:
 	  -tol 'BenchmarkFigure1/BT=60' -tol 'BenchmarkFigure1/CG=60' -tol 'BenchmarkFigure1/FT=60' \
 	  -tol 'BenchmarkFigure1/MG=60' -tol 'BenchmarkFigure1/SP=60' \
 	  -tol 'BenchmarkSweepFigure4All/fork=40' -tol 'BenchmarkSweepFigure4All/nofork=40' \
+	  -tol 'BenchmarkSweepTopo64=60' \
 	  -tol 'BenchmarkSweepClassWSteady/plain=40' -tol 'BenchmarkSweepClassWSteady/steady=40'
 
 # Regenerate every table and figure of the paper (EXPERIMENTS.md input).

@@ -132,6 +132,38 @@ func BenchmarkSweepFigure4All(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepTopo64 is the hierarchical-machine datapoint tracked in
+// BENCH_host.json: CG's full Figure 4 column (12 placement×engine cells)
+// on the 64-CPU hier64 machine — 4× the Origin's CPUs through the
+// mixed-radix distance path — with prefix forking as in a real sweep.
+// The wc-slowdown metric records whether the placement gap is still open
+// at 64 CPUs.
+func BenchmarkSweepTopo64(b *testing.B) {
+	var ft, wc float64
+	for i := 0; i < b.N; i++ {
+		r := upmgo.SweepRunner{Cache: upmgo.NewSweepCache()}
+		res, err := r.Sweep(context.Background(), upmgo.SweepRequest{
+			Kind: upmgo.KindTopoScale,
+			Options: upmgo.SweepOptions{
+				Class: upmgo.ClassS, Benches: []string{"CG"}, Seed: benchSeed, Topo: "hier64",
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells := res.Cells
+		for _, c := range cells {
+			switch c.Label {
+			case "ft-IRIX@4x2x8":
+				ft = c.Seconds()
+			case "wc-IRIX@4x2x8":
+				wc = c.Seconds()
+			}
+		}
+	}
+	b.ReportMetric(100*(wc/ft-1), "wc-slowdown-%")
+}
+
 // BenchmarkSweepClassWSteady measures what the steady-state fast-forward
 // buys at the paper-scale class: SP's full Figure 4 column (12 cells) at
 // Class W, simulated in full versus detected-and-extrapolated. Both

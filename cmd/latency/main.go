@@ -1,10 +1,12 @@
 // Command latency probes the simulated ccNUMA memory hierarchy and prints
 // the paper's Table 1: access latency to L1, L2, local memory and remote
-// memory at 1..3 hops.
+// memory at each hop distance the configured topology reaches.
 //
 // Usage:
 //
-//	latency
+//	latency                 # the paper's Origin2000 (remote at 1..3 hops)
+//	latency -topo hier64    # a 64-CPU 4-socket hierarchy's ladder
+//	latency -topo 4x2x2x4   # any [cube:]LxLx...xC shape spec
 package main
 
 import (
@@ -31,11 +33,12 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("latency", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	topo := fs.String("topo", "", "machine shape: a [cube:]LxLx...xC spec (last component = CPUs per node) or preset (origin, hier64, hier128, hier256); empty = the paper's Origin2000")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
 	}
-	return upmgo.WriteTable1(stdout)
+	return upmgo.WriteTable1Topo(stdout, *topo)
 }

@@ -27,6 +27,8 @@
 //	sweep -all -store results/      # persist cells; a second run recalls
 //	                                # everything from disk (cmd/sweepd
 //	                                # serves the same store over HTTP)
+//	sweep -fig 4 -topo hier64       # Figure 4 on a 64-CPU hierarchy
+//	sweep -toposcale -steady        # the Figure 4 grid at 64/128/256 CPUs
 package main
 
 import (
@@ -100,6 +102,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	extrapolate := fs.Bool("extrapolate", true, "with -steady: extrapolate the tail once detected (false = detection-only, full simulation)")
 	threads := fs.Int("threads", 0, "simulated team size per cell (0 = all CPUs; 1 = exactly reproducible)")
 	noFork := fs.Bool("nofork", false, "simulate every cell's cold start from scratch instead of forking shared prefix snapshots (bisection aid; results are identical)")
+	topo := fs.String("topo", "", "machine shape for every figure/table-2 cell: a [cube:]LxLx...xC spec (last component = CPUs per node) or preset (origin, hier64, hier128, hier256); empty = the class default machine. Table 1 always shows the default ladder; use cmd/latency -topo for others")
+	topoScale := fs.Bool("toposcale", false, "run the hierarchical scaling sweep: the Figure 4 grid on the 64/128/256-CPU machine shapes (-topo narrows it to one shape)")
 	cpuProfile := fs.String("cpuprofile", "", "write a host CPU profile of the sweep to this file")
 	memProfile := fs.String("memprofile", "", "write a host heap profile (post-sweep) to this file")
 	metricsDir := fs.String("metrics", "", "write per-cell NUMA metrics (JSON/CSV/Prometheus series, page heatmaps) and a locality.md digest into this directory (disables memoization)")
@@ -114,7 +118,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	o := upmgo.SweepOptions{Seed: *seed, Iterations: *iters, Threads: *threads,
-		Steady: *steady, Extrapolate: *extrapolate}
+		Steady: *steady, Extrapolate: *extrapolate, Topo: *topo}
 	switch strings.ToUpper(*class) {
 	case "S":
 		o.Class = upmgo.ClassS
@@ -129,9 +133,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		o.Benches = strings.Split(strings.ToUpper(*benches), ",")
 	}
 
-	if !*all && *table == 0 && *fig == 0 {
+	if !*all && !*topoScale && *table == 0 && *fig == 0 {
 		fs.Usage()
 		return errUsage
+	}
+	if *topo != "" {
+		// Fail a bad shape here, named after its flag, instead of once per
+		// cell inside the pool.
+		if _, err := upmgo.ParseTopoShape(*topo); err != nil {
+			return fmt.Errorf("-topo: %w", err)
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -235,6 +246,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 				err = s.runFigure(ctx, r, f, o)
 			}
 		}
+		if err == nil && *topoScale {
+			err = s.runTopoScale(ctx, r, o)
+		}
+	case *topoScale:
+		err = s.runTopoScale(ctx, r, o)
 	case *table == 1:
 		err = s.runTable1()
 	case *table == 2:
@@ -396,6 +412,34 @@ func (s *sweeper) runFigure(ctx context.Context, r upmgo.SweepRunner, fig int, o
 	default:
 		return fmt.Errorf("no figure %d in the paper's evaluation", fig)
 	}
+	fmt.Fprintln(s.out)
+	return nil
+}
+
+// runTopoScale renders the hierarchical scaling sweep: the Figure 4
+// placement×engine grid on each TopoScaleShapes machine (or just -topo's
+// shape), labels suffixed with "@shape".
+func (s *sweeper) runTopoScale(ctx context.Context, r upmgo.SweepRunner, o upmgo.SweepOptions) error {
+	res, err := r.Sweep(ctx, upmgo.SweepRequest{Kind: upmgo.KindTopoScale, Options: o})
+	if err != nil {
+		return fmt.Errorf("toposcale: %w", err)
+	}
+	cells := res.Cells
+	if s.collect {
+		s.cells = append(s.cells, cells...)
+	}
+	if s.csv {
+		upmgo.WriteCellsCSV(s.out, cells)
+		return nil
+	}
+	shapes := strings.Join(upmgo.TopoScaleShapes, ", ")
+	if o.Topo != "" {
+		shapes = o.Topo
+	}
+	title := fmt.Sprintf("Topology scaling. NAS benchmarks, Class %s, the Figure 4 grid on", o.Class)
+	sub := fmt.Sprintf("hierarchical machines (%s).", shapes)
+	s.writeCells(title+"\n"+sub, cells)
+	s.writeSummary(cells)
 	fmt.Fprintln(s.out)
 	return nil
 }

@@ -25,6 +25,7 @@ import (
 	"upmgo/internal/nas/lu"
 	"upmgo/internal/nas/mg"
 	"upmgo/internal/nas/sp"
+	"upmgo/internal/topology"
 	"upmgo/internal/upm"
 	"upmgo/internal/vm"
 )
@@ -87,8 +88,22 @@ func newMachine(mc machine.Config) (*machine.Machine, error) {
 
 // Table1 probes the simulated memory hierarchy exactly as the paper's
 // Table 1 reports it: access latency by level and by hop count.
-func Table1() ([]Row, error) {
-	m, err := newMachine(machine.DefaultConfig())
+func Table1() ([]Row, error) { return Table1Topo("") }
+
+// Table1Topo probes the ladder of a machine with the given shape (a
+// topology.ParseShape string or preset; empty = the paper's default
+// Origin2000). The row set follows the topology: after the cache and
+// local rows, one remote row per hop distance at which some CPU exists —
+// a 3-level hierarchy yields a longer ladder than the hypercube's three
+// remote rows.
+func Table1Topo(topo string) ([]Row, error) {
+	mc := machine.DefaultConfig()
+	if topo != "" {
+		if err := mc.SetTopology(topo); err != nil {
+			return nil, fmt.Errorf("exp: %w", err)
+		}
+	}
+	m, err := newMachine(mc)
 	if err != nil {
 		return nil, err
 	}
@@ -140,13 +155,25 @@ type Row struct {
 	Nanosec float64
 }
 
-// WriteTable1 renders Table 1 to w.
-func WriteTable1(w io.Writer) error {
-	rows, err := Table1()
+// WriteTable1 renders Table 1 for the default machine to w.
+func WriteTable1(w io.Writer) error { return WriteTable1Topo(w, "") }
+
+// WriteTable1Topo renders the latency ladder of a machine with the given
+// shape (empty = the default Origin2000) to w.
+func WriteTable1Topo(w io.Writer, topo string) error {
+	rows, err := Table1Topo(topo)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(w, "Table 1. Access latency to the levels of the simulated Origin2000 hierarchy.")
+	if topo == "" {
+		fmt.Fprintln(w, "Table 1. Access latency to the levels of the simulated Origin2000 hierarchy.")
+	} else {
+		sh, err := topology.ParseShape(topo)
+		if err != nil {
+			return fmt.Errorf("exp: %w", err)
+		}
+		fmt.Fprintf(w, "Table 1. Access latency to the levels of the simulated %s machine.\n", sh)
+	}
 	fmt.Fprintf(w, "%-16s %-16s %12s\n", "Level", "Distance(hops)", "Latency(ns)")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-16s %-16d %12.1f\n", r.Level, r.Hops, r.Nanosec)
@@ -182,6 +209,13 @@ type SweepOptions struct {
 	// detection-only: full simulation plus Result.SteadyAt.
 	Steady      bool `json:"steady,omitempty"`
 	Extrapolate bool `json:"extrapolate,omitempty"`
+	// Topo runs every cell on a machine of this shape (a
+	// topology.ParseShape string or preset — "4x2x8", "hier64",
+	// "cube:2x2x2") instead of the class default. For the toposcale sweep
+	// it narrows the shape set to just this shape. Empty = class default
+	// machine; shapes cube-equivalent to it canonicalise away, so their
+	// cells share the default cells' cache entries and store records.
+	Topo string `json:"topo,omitempty"`
 }
 
 func (o *SweepOptions) defaults() {
@@ -219,6 +253,7 @@ func Figure1Specs(o SweepOptions) []CellSpec {
 					Class: o.Class, Placement: p, KernelMig: km,
 					Seed: o.Seed, Iterations: o.Iterations, Threads: o.Threads,
 					SteadyState: o.Steady, Extrapolate: o.Steady && o.Extrapolate,
+					Topo: o.Topo,
 				}})
 			}
 		}
@@ -243,11 +278,41 @@ func Figure4Specs(o SweepOptions) []CellSpec {
 					Class: o.Class, Placement: p, KernelMig: mode.km, UPM: mode.upm,
 					Seed: o.Seed, Iterations: o.Iterations, Threads: o.Threads,
 					SteadyState: o.Steady, Extrapolate: o.Steady && o.Extrapolate,
+					Topo: o.Topo,
 				}})
 			}
 		}
 	}
 	return specs
+}
+
+// TopoScaleShapes are the hierarchical machine shapes of the scaling
+// sweep, in CPU-count order: 64, 128 and 256 CPUs (8, 16 and 32 NUMA
+// nodes). They are preset names; topology.Presets spells them out.
+var TopoScaleShapes = []string{"hier64", "hier128", "hier256"}
+
+// TopoScaleSpecs enumerates the placement×engine grid of Figure 4 on
+// each hierarchical machine shape, in shape order — the sweep that asks
+// where the paper's "balanced placement is enough" conclusion breaks as
+// the machine grows past the Origin2000. o.Topo, when set, narrows the
+// sweep to that single shape (e.g. just the 64-CPU machine).
+func TopoScaleSpecs(o SweepOptions) []CellSpec {
+	shapes := TopoScaleShapes
+	if o.Topo != "" {
+		shapes = []string{o.Topo}
+	}
+	var specs []CellSpec
+	for _, shape := range shapes {
+		so := o
+		so.Topo = shape
+		specs = append(specs, Figure4Specs(so)...)
+	}
+	return specs
+}
+
+// TopoScale runs the hierarchical scaling sweep with a default Runner.
+func TopoScale(o SweepOptions) ([]Cell, error) {
+	return Runner{}.Cells(context.Background(), TopoScaleSpecs(o))
 }
 
 // Figure1 reproduces the paper's Figure 1 with a default Runner
@@ -290,6 +355,7 @@ func Table2Specs(o SweepOptions) []CellSpec {
 				Class: o.Class, Placement: p, UPM: nas.UPMDistribute,
 				Seed: o.Seed, Iterations: o.Iterations, Threads: o.Threads,
 				SteadyState: o.Steady, Extrapolate: o.Steady && o.Extrapolate,
+				Topo: o.Topo,
 			}})
 		}
 	}
@@ -367,6 +433,7 @@ func Figure5Specs(o SweepOptions) []CellSpec {
 			cfg.ComputeScale = o.Scale
 			cfg.SteadyState = o.Steady
 			cfg.Extrapolate = o.Steady && o.Extrapolate
+			cfg.Topo = o.Topo
 			// Repeating each phase body in place (the paper's synthetic
 			// scaling) changes the numerics, exactly as in the paper,
 			// where the scaled experiment is timed but not verified.

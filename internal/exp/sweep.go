@@ -18,10 +18,16 @@ const (
 	KindTable2  Kind = "table2"  // Table 2: steady-state slowdown and migration timing
 	KindFigure5 Kind = "figure5" // Figure 5: record–replay on BT and SP
 	KindFigure6 Kind = "figure6" // Figure 6: record–replay on the synthetically scaled BT
+
+	// KindTopoScale is not in the paper: it reruns the Figure 4 grid on
+	// the hierarchical 64/128/256-CPU machine shapes (TopoScaleShapes,
+	// narrowed by Options.Topo) to probe where the paper's conclusion
+	// breaks on modern machines.
+	KindTopoScale Kind = "toposcale"
 )
 
 // Kinds lists every valid Kind in presentation order.
-var Kinds = []Kind{KindFigure1, KindFigure4, KindTable2, KindFigure5, KindFigure6}
+var Kinds = []Kind{KindFigure1, KindFigure4, KindTable2, KindFigure5, KindFigure6, KindTopoScale}
 
 // ErrUnknownKind reports a Kind outside the paper's five sweeps. Callers
 // match it with errors.Is; cmd/sweepd maps it to 400 Bad Request.
@@ -67,8 +73,9 @@ type SweepRequest struct {
 }
 
 // SweepResult carries whichever shape the request's Kind produces:
-// Cells for Figures 1 and 4, Table2 for Table 2, Figure5 for Figures 5
-// and 6. Exactly one of the three payload fields is non-nil on success.
+// Cells for Figures 1 and 4 and the toposcale sweep, Table2 for Table 2,
+// Figure5 for Figures 5 and 6. Exactly one of the three payload fields is
+// non-nil on success.
 type SweepResult struct {
 	Kind    Kind          `json:"kind"`
 	Cells   []Cell        `json:"cells,omitempty"`
@@ -100,6 +107,8 @@ func (r Runner) Sweep(ctx context.Context, req SweepRequest) (SweepResult, error
 		out.Figure5, err = r.figure5(ctx, req.Options)
 	case KindFigure6:
 		out.Figure5, err = r.figure5(ctx, figure6Options(req.Options))
+	case KindTopoScale:
+		out.Cells, err = r.Cells(ctx, TopoScaleSpecs(req.Options))
 	default:
 		return SweepResult{}, fmt.Errorf("exp: %w: %q", ErrUnknownKind, req.Kind)
 	}
@@ -124,6 +133,8 @@ func SweepSpecs(req SweepRequest) ([]CellSpec, error) {
 		return Figure5Specs(req.Options), nil
 	case KindFigure6:
 		return Figure5Specs(figure6Options(req.Options)), nil
+	case KindTopoScale:
+		return TopoScaleSpecs(req.Options), nil
 	default:
 		return nil, fmt.Errorf("exp: %w: %q", ErrUnknownKind, req.Kind)
 	}

@@ -90,7 +90,12 @@ func Attach(m *machine.Machine, cfg Config) *Engine {
 		}
 	}
 	if cfg.MaxPerScan == 0 {
-		cfg.MaxPerScan = DefaultConfig().MaxPerScan
+		// The canonical 16 is the IRIX throttle on the paper's 16-CPU
+		// machine: one page per processor per scan. Hierarchical machines
+		// have more processors generating counter traffic, so the scan
+		// budget scales with them; at or below 16 CPUs (every paper-class
+		// machine) the default is unchanged.
+		cfg.MaxPerScan = max(DefaultConfig().MaxPerScan, m.NumCPUs())
 	}
 	if cfg.ScanEvery == 0 {
 		cfg.ScanEvery = 1

@@ -43,6 +43,17 @@ type Config struct {
 
 	Lat memsys.Latency
 
+	// Topo, when non-nil, replaces the default hypercube interconnect
+	// with a hierarchical topology built from these levels (outermost
+	// first; see topology.Hierarchy). Nodes is overridden by the level
+	// product. When any level carries ExtraPS, the memory ladder is
+	// re-derived per hop distance as local latency + the level extras —
+	// the per-level generalization of the paper's Table 1; otherwise the
+	// configured (or default Origin2000) ladder stays in force, which is
+	// how a cube-shaped hierarchy remains bit-identical to the legacy
+	// path. Nil keeps the hypercube over Nodes.
+	Topo []topology.Level
+
 	Placement   vm.Policy
 	Seed        uint64
 	CounterBits int // hardware reference counter width, 0 = 11
@@ -78,6 +89,21 @@ func DefaultConfig() Config {
 	}
 }
 
+// SetTopology configures the machine's shape from a shape string or
+// preset name ("4x2x8", "cube:2x2x2", "hier64"; see topology.ParseShape):
+// it sets Topo to the parsed node levels and Nodes/CPUsPerNode to the
+// shape's counts. Every other field is untouched.
+func (c *Config) SetTopology(shape string) error {
+	sh, err := topology.ParseShape(shape)
+	if err != nil {
+		return err
+	}
+	c.Topo = sh.Levels
+	c.Nodes = sh.NodeCount()
+	c.CPUsPerNode = sh.CPUsPerNode
+	return nil
+}
+
 // BarrierHook runs at every barrier after contention settlement; it
 // returns extra picoseconds to add to the barrier time (e.g. the cost of
 // kernel-initiated page migrations applied at this quiescent point).
@@ -87,7 +113,7 @@ type BarrierHook func(now int64) int64
 // a Machine between concurrently running teams.
 type Machine struct {
 	Cfg  Config
-	Topo *topology.Hypercube
+	Topo topology.Topology
 	PT   *vm.PageTable
 	Lat  memsys.Latency
 
@@ -205,9 +231,30 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.CPUsPerNode <= 0 {
 		return nil, fmt.Errorf("machine: %d CPUs per node invalid", cfg.CPUsPerNode)
 	}
-	topo, err := topology.NewHypercube(cfg.Nodes)
-	if err != nil {
-		return nil, err
+	var topo topology.Topology
+	if cfg.Topo != nil {
+		h, err := topology.NewHierarchy(cfg.Topo)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Nodes = h.Nodes()
+		if extras := h.LatencyExtras(); extras != nil {
+			// Per-level latency ladder: local latency plus the summed
+			// extras of the levels each distance crosses. A fresh slice —
+			// the configured ladder may be shared (DefaultConfig's).
+			mb := make([]int64, len(extras))
+			for d, ex := range extras {
+				mb[d] = cfg.Lat.MemByHops[0] + ex
+			}
+			cfg.Lat.MemByHops = mb
+		}
+		topo = h
+	} else {
+		hc, err := topology.NewHypercube(cfg.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		topo = hc
 	}
 	pt, err := vm.New(topo, vm.Config{
 		Pages:         cfg.ArenaPages,

@@ -13,6 +13,7 @@ import (
 	"upmgo/internal/machine"
 	"upmgo/internal/metrics"
 	"upmgo/internal/omp"
+	"upmgo/internal/topology"
 	"upmgo/internal/trace"
 	"upmgo/internal/upm"
 	"upmgo/internal/vm"
@@ -277,6 +278,15 @@ type Config struct {
 	// Attach one cache per sweep. Results are bit-identical with or
 	// without it, so it does not partition the fingerprint space.
 	TailCache *VerifyCache `json:"-"`
+	// Topo selects the machine's shape: a topology.ParseShape string or
+	// preset ("4x2x8", "hier64", "cube:2x2x2"). It overrides the class
+	// default machine's node/CPU counts and, for shapes with per-level
+	// latency, its memory ladder. Empty keeps the class default. Shapes
+	// that are cube-equivalent to the class default canonicalise to
+	// empty in Fingerprint/Label — such runs are bit-identical to the
+	// legacy hypercube path, so they share its cache entries and store
+	// records (the compatibility guarantee topology_test.go pins).
+	Topo string `json:"topo,omitempty"`
 }
 
 // Fingerprint returns a canonical text encoding of the configuration,
@@ -309,11 +319,83 @@ func (c Config) Fingerprint() (string, bool) {
 	} else if c.SteadyWindow <= 0 {
 		c.SteadyWindow = steadyWindowDefault
 	}
-	// A tail cache never changes a Result (a hit substitutes a verdict
-	// proven identical), so cached and uncached runs share one entry —
-	// and the pointer's address must not leak into the key.
-	c.TailCache = nil
-	return fmt.Sprintf("%+v", c), true
+	fp := fmt.Sprintf("%+v", fingerprintView{
+		Class:        c.Class,
+		Placement:    c.Placement,
+		KernelMig:    c.KernelMig,
+		UPM:          c.UPM,
+		UPMOptions:   c.UPMOptions,
+		Kmig:         c.Kmig,
+		Threads:      c.Threads,
+		Iterations:   c.Iterations,
+		ComputeScale: c.ComputeScale,
+		PerturbAt:    c.PerturbAt,
+		Seed:         c.Seed,
+		SkipVerify:   c.SkipVerify,
+		SteadyState:  c.SteadyState,
+		Extrapolate:  c.Extrapolate,
+		SteadyWindow: c.SteadyWindow,
+	})
+	if t := c.canonTopo(); t != "" {
+		fp += " topo=" + t
+	}
+	return fp, true
+}
+
+// fingerprintView is the fingerprint encoding of a Config: exactly the
+// pre-topology field list, in the original order, so that fmt's %+v of a
+// view is byte-for-byte the fingerprint every cache entry and store
+// record was keyed by before Topo existed. The topology joins the key
+// only as an explicit suffix, and only when canonTopo is non-empty —
+// which is the fingerprint compatibility guarantee: default-shape runs
+// keep their historical keys. The hook fields (Tweak, Tracer, Metrics,
+// TailCache) are retained as always-nil placeholders because their
+// "<nil>" renderings are part of the historical byte layout. Do not
+// reorder, rename or extend this struct; fingerprint_test.go pins its
+// rendering against golden strings.
+type fingerprintView struct {
+	Class        Class
+	Placement    vm.Policy
+	KernelMig    bool
+	UPM          Mode
+	UPMOptions   upm.Options
+	Kmig         kmig.Config
+	Threads      int
+	Iterations   int
+	ComputeScale int
+	PerturbAt    int
+	Seed         uint64
+	Tweak        func(mc *machine.Config)
+	Tracer       trace.Tracer
+	Metrics      *metrics.Sampler
+	SkipVerify   bool
+	SteadyState  bool
+	Extrapolate  bool
+	SteadyWindow int
+	TailCache    *VerifyCache
+}
+
+// canonTopo returns the canonical topology component of the config's
+// identity: empty when Topo is unset or names a shape indistinguishable
+// from the class's default hypercube machine (cube levels of arity 2,
+// matching node and CPU counts — such runs are proven bit-identical to
+// the legacy path), else the canonical shape spelling, so "HIER64" and
+// "4x2x8" collide. Unparseable strings are returned verbatim: Run will
+// reject them, and two configs that fail identically may share the key.
+func (c Config) canonTopo() string {
+	if c.Topo == "" {
+		return ""
+	}
+	sh, err := topology.ParseShape(c.Topo)
+	if err != nil {
+		return c.Topo
+	}
+	mc := machine.DefaultConfig()
+	c.Class.MachineTweak(&mc)
+	if sh.CubeEquivalent(mc.Nodes, mc.CPUsPerNode) {
+		return ""
+	}
+	return sh.String()
 }
 
 // PrefixFingerprint returns a canonical key for the engine-independent
@@ -322,7 +404,8 @@ func (c Config) Fingerprint() (string, bool) {
 // cold starts, so their runs can fork from one shared machine snapshot
 // (RunPrefix / Prefix.RunFromSnapshot). The field list mirrors exactly
 // what runPrefix consumes: Class, Placement, Seed, ComputeScale
-// (canonicalised, 0≡1) and Threads; the engine and timed-loop fields
+// (canonicalised, 0≡1), Threads and the canonical topology (appended only
+// when non-default, preserving historical keys); the engine and timed-loop fields
 // (KernelMig, UPM, UPMOptions, Kmig, Iterations, PerturbAt, SkipVerify)
 // act only after the divergence point and are deliberately absent. The
 // second result is false when the prefix cannot be canonically encoded,
@@ -338,8 +421,12 @@ func (c Config) PrefixFingerprint() (string, bool) {
 	if scale < 1 {
 		scale = 1
 	}
-	return fmt.Sprintf("prefix\x00class=%v placement=%v seed=%d scale=%d threads=%d",
-		c.Class, c.Placement, c.Seed, scale, c.Threads), true
+	fp := fmt.Sprintf("prefix\x00class=%v placement=%v seed=%d scale=%d threads=%d",
+		c.Class, c.Placement, c.Seed, scale, c.Threads)
+	if t := c.canonTopo(); t != "" {
+		fp += " topo=" + t
+	}
+	return fp, true
 }
 
 // tracer returns the effective event sink: the user's Tracer, the
@@ -358,17 +445,24 @@ func (c Config) tracer() trace.Tracer {
 }
 
 // Label renders the paper's bar labels, e.g. "rr-IRIXmig" or "ft-upmlib".
+// A non-default topology joins as an "@shape" suffix ("ft-upmlib@4x2x8");
+// shapes canonTopo folds into the default keep the bare label.
 func (c Config) Label() string {
+	var l string
 	switch {
 	case c.UPM == UPMRecRep:
-		return c.Placement.String() + "-recrep"
+		l = c.Placement.String() + "-recrep"
 	case c.UPM == UPMDistribute:
-		return c.Placement.String() + "-upmlib"
+		l = c.Placement.String() + "-upmlib"
 	case c.KernelMig:
-		return c.Placement.String() + "-IRIXmig"
+		l = c.Placement.String() + "-IRIXmig"
 	default:
-		return c.Placement.String() + "-IRIX"
+		l = c.Placement.String() + "-IRIX"
 	}
+	if t := c.canonTopo(); t != "" {
+		l += "@" + t
+	}
+	return l
 }
 
 // Result reports one run. The JSON tags define the store-record and job-API
@@ -440,13 +534,22 @@ func Run(build Builder, cfg Config) (Result, error) {
 // runPrefix performs the engine-independent prefix of a run: machine
 // build, kernel build, the serial cold-start first-touch iteration, data
 // reinitialisation and the counter reset. It reads only Class, Placement,
-// Seed, ComputeScale, Threads, Tweak and Tracer from the config — never
+// Seed, ComputeScale, Threads, Topo, Tweak and Tracer from the config — never
 // an engine or timed-loop field — which is what makes the state it
 // produces shareable across engine variants (PrefixFingerprint keys
 // exactly this field set).
 func runPrefix(build Builder, cfg Config) (*machine.Machine, Kernel, *omp.Team, error) {
 	mc := machine.DefaultConfig()
 	cfg.Class.MachineTweak(&mc)
+	if cfg.Topo != "" {
+		// The shape overrides the class machine's node/CPU geometry (and,
+		// for shapes with per-level latency, its ladder) but keeps its
+		// page and cache geometry. Applied before Tweak so ablations can
+		// still adjust a shaped machine.
+		if err := mc.SetTopology(cfg.Topo); err != nil {
+			return nil, nil, nil, err
+		}
+	}
 	mc.Placement = cfg.Placement
 	mc.Seed = cfg.Seed
 	if cfg.Tweak != nil {

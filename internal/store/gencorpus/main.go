@@ -1,0 +1,48 @@
+// Command gencorpus regenerates the committed seed corpus of
+// FuzzDecodeRecord (testdata/fuzz/FuzzDecodeRecord): one file per
+// decoder branch — an intact record, a truncation, non-JSON bytes, a
+// stale envelope, a wrong code version and a payload-hash mismatch.
+// Run it from the store package directory after changing the record
+// envelope:
+//
+//	go run ./gencorpus testdata/fuzz/FuzzDecodeRecord
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"upmgo/internal/nas"
+	"upmgo/internal/store"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: gencorpus <corpus-dir>")
+		os.Exit(2)
+	}
+	dir := os.Args[1]
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		panic(err)
+	}
+	valid, err := store.EncodeRecord("BT\x00{Class:S}", "BT",
+		nas.Result{Label: "ft-IRIX", Verified: true, TotalPS: 123456789})
+	if err != nil {
+		panic(err)
+	}
+	seeds := map[string][]byte{
+		"valid-record":  valid,
+		"truncated":     valid[:len(valid)/2],
+		"not-json":      []byte("not json at all"),
+		"empty-object":  []byte("{}"),
+		"stale-code":    []byte(`{"schema":1,"key":"k","provenance":{"code_version":"upmgo-sim-0"}}`),
+		"hash-mismatch": []byte(`{"schema":1,"key":"k","provenance":{"code_version":"upmgo-sim-1"},"payload_sha256":"deadbeef","payload":{"label":"x"}}`),
+	}
+	for name, blob := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", blob)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			panic(err)
+		}
+	}
+}

@@ -69,6 +69,24 @@ func Address(key string) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// ValidAddress reports whether addr has the shape Address produces: 64
+// lower-case hex digits. ReadRecord rejects anything else as ErrNotFound
+// before touching the filesystem, so an address taken straight off a URL
+// path (cmd/sweepd's /v1/cells/{address}) can never name a file outside
+// the store.
+func ValidAddress(addr string) bool {
+	if len(addr) != sha256.Size*2 {
+		return false
+	}
+	for i := 0; i < len(addr); i++ {
+		c := addr[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // Provenance records where a cell's numbers came from.
 type Provenance struct {
 	// Engine is the cell's figure label ("rr-upmlib"), naming placement
@@ -201,12 +219,39 @@ func (s *Store) Get(key string) (nas.Result, error) {
 // ReadRecord returns the verified raw record bytes for a content address —
 // the body cmd/sweepd's GET /v1/cells/{fingerprint} serves. The bytes are
 // exactly what Put wrote (and EncodeRecord produces), so clients can diff
-// them against locally computed records.
+// them against locally computed records. Addresses that are not 64 hex
+// digits read as ErrNotFound without touching the filesystem.
 func (s *Store) ReadRecord(addr string) ([]byte, error) {
+	if !ValidAddress(addr) {
+		return nil, fmt.Errorf("%w (malformed address %q)", ErrNotFound, clip(addr, 16))
+	}
 	if _, err := s.readRecord(addr); err != nil {
 		return nil, err
 	}
 	return os.ReadFile(s.path(addr))
+}
+
+// DecodeRecord parses and integrity-checks one record's raw bytes — the
+// pure half of readRecord, shared with the fuzz harness. It distinguishes
+// the store's two failure classes exactly as Get does: damage (truncated
+// or non-JSON bytes, a payload that fails its recorded SHA-256) wraps
+// ErrCorrupt; a well-formed record from another schema or simulator
+// revision wraps ErrNotFound, because such a record is absent, not
+// damaged — the next Put overwrites it with this revision's cell.
+func DecodeRecord(blob []byte) (Record, error) {
+	var rec Record
+	if err := json.Unmarshal(blob, &rec); err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if rec.Schema != SchemaVersion || rec.Provenance.CodeVersion != CodeVersion {
+		return Record{}, fmt.Errorf("%w (stale: schema %d, code %q)",
+			ErrNotFound, rec.Schema, clip(rec.Provenance.CodeVersion, 40))
+	}
+	sum := sha256.Sum256(rec.Payload)
+	if hex.EncodeToString(sum[:]) != rec.PayloadSHA256 {
+		return Record{}, fmt.Errorf("%w: payload hash mismatch", ErrCorrupt)
+	}
+	return rec, nil
 }
 
 // readRecord loads and integrity-checks one record by address: parseable,
@@ -219,21 +264,19 @@ func (s *Store) readRecord(addr string) (Record, error) {
 		}
 		return Record{}, fmt.Errorf("store: %w", err)
 	}
-	var rec Record
-	if err := json.Unmarshal(blob, &rec); err != nil {
-		return Record{}, fmt.Errorf("%w: %s: %v", ErrCorrupt, addr[:min(12, len(addr))], err)
-	}
-	if rec.Schema != SchemaVersion || rec.Provenance.CodeVersion != CodeVersion {
-		// A different revision's record is absent, not damaged: the next
-		// Put overwrites it with this revision's cell.
-		return Record{}, fmt.Errorf("%w (stale: schema %d, code %q)",
-			ErrNotFound, rec.Schema, rec.Provenance.CodeVersion)
-	}
-	sum := sha256.Sum256(rec.Payload)
-	if hex.EncodeToString(sum[:]) != rec.PayloadSHA256 {
-		return Record{}, fmt.Errorf("%w: %s payload hash mismatch", ErrCorrupt, addr[:min(12, len(addr))])
+	rec, err := DecodeRecord(blob)
+	if err != nil {
+		return Record{}, fmt.Errorf("%s: %w", clip(addr, 12), err)
 	}
 	return rec, nil
+}
+
+// clip bounds a string destined for an error message.
+func clip(s string, n int) string {
+	if len(s) > n {
+		return s[:n] + "…"
+	}
+	return s
 }
 
 // Meta describes one record found by Scan.

@@ -42,6 +42,7 @@ import (
 	"upmgo/internal/nas"
 	"upmgo/internal/omp"
 	"upmgo/internal/store"
+	"upmgo/internal/topology"
 	"upmgo/internal/trace"
 	"upmgo/internal/upm"
 	"upmgo/internal/vm"
@@ -365,14 +366,20 @@ type (
 	SweepResult = exp.SweepResult
 )
 
-// The paper's sweeps, in presentation order.
+// The paper's sweeps, in presentation order, plus the hierarchical
+// topology-scaling sweep (Figure 4's grid on 64/128/256-CPU machines).
 const (
-	KindFigure1 = exp.KindFigure1
-	KindFigure4 = exp.KindFigure4
-	KindTable2  = exp.KindTable2
-	KindFigure5 = exp.KindFigure5
-	KindFigure6 = exp.KindFigure6
+	KindFigure1   = exp.KindFigure1
+	KindFigure4   = exp.KindFigure4
+	KindTable2    = exp.KindTable2
+	KindFigure5   = exp.KindFigure5
+	KindFigure6   = exp.KindFigure6
+	KindTopoScale = exp.KindTopoScale
 )
+
+// TopoScaleShapes are the hierarchical machine shapes the toposcale sweep
+// runs by default (preset names; see TopologyPresets).
+var TopoScaleShapes = exp.TopoScaleShapes
 
 // SweepKinds lists every valid SweepKind in presentation order.
 var SweepKinds = exp.Kinds
@@ -457,6 +464,47 @@ var (
 // WriteTable1 renders the paper's Table 1 (hierarchy latencies) to w.
 func WriteTable1(w io.Writer) error { return exp.WriteTable1(w) }
 
+// WriteTable1Topo renders the latency ladder of a machine with the given
+// shape ("4x2x8", "hier64", "cube:2x2x2"; empty = the paper's default
+// Origin2000) to w. cmd/latency's -topo flag is this function.
+func WriteTable1Topo(w io.Writer, topo string) error { return exp.WriteTable1Topo(w, topo) }
+
+// Machine topologies. The simulator's interconnect is a
+// topology.Topology — the paper's hypercube or an arbitrary hierarchy of
+// levels (sockets × dies × …) with per-level distance and latency
+// contributions. A NASConfig/SweepOptions Topo string selects a shape by
+// ParseTopoShape grammar; shapes cube-equivalent to the class default
+// machine canonicalise away and share the legacy hypercube path's
+// fingerprints, cache entries and store records bit-identically.
+type (
+	// Topology is the interconnect interface (nodes, hop distances,
+	// closest-node orders, level structure).
+	Topology = topology.Topology
+	// TopologyLevel is one tier of a hierarchical machine.
+	TopologyLevel = topology.Level
+	// TopologyHierarchy is an arbitrary tree of levels with a cached
+	// distance matrix.
+	TopologyHierarchy = topology.Hierarchy
+	// TopologyShape is a parsed machine shape: node levels plus CPUs per
+	// node.
+	TopologyShape = topology.Shape
+)
+
+// TopologyPresets maps mnemonic shape names ("origin", "hier64", …) to
+// their shape specs.
+var TopologyPresets = topology.Presets
+
+// ParseTopoShape parses a "[cube:]A1xA2x...xAn" shape string or preset
+// name: the last component is CPUs per node, the rest are level arities
+// outermost first.
+func ParseTopoShape(s string) (TopologyShape, error) { return topology.ParseShape(s) }
+
+// NewTopologyHierarchy builds a hierarchical topology from levels,
+// outermost first.
+func NewTopologyHierarchy(levels []TopologyLevel) (*TopologyHierarchy, error) {
+	return topology.NewHierarchy(levels)
+}
+
 // WriteCellsCSV renders Figure 1/4 cells as CSV for external plotting.
 func WriteCellsCSV(w io.Writer, cells []ExperimentCell) { exp.WriteCellsCSV(w, cells) }
 
@@ -469,6 +517,12 @@ func Figure1(o SweepOptions) ([]ExperimentCell, error) { return exp.Figure1(o) }
 
 // Figure4 regenerates the paper's Figure 4 (Figure 1 plus UPMlib).
 func Figure4(o SweepOptions) ([]ExperimentCell, error) { return exp.Figure4(o) }
+
+// TopoScale runs the hierarchical scaling sweep: the Figure 4
+// placement×engine grid on each TopoScaleShapes machine (o.Topo narrows
+// it to one shape) — the experiment that asks where the paper's
+// "balanced placement is enough" conclusion breaks past 16 CPUs.
+func TopoScale(o SweepOptions) ([]ExperimentCell, error) { return exp.TopoScale(o) }
 
 // Table2 regenerates the paper's Table 2 (steady-state slowdown and
 // first-iteration migration fractions).
