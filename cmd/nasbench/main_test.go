@@ -61,7 +61,7 @@ func TestRunSteady(t *testing.T) {
 	if err := run(append(base, "-steady"), &steady, &errw); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(steady.String(), "steady state   detected at iteration") {
+	if !strings.Contains(steady.String(), "steady state   period 1 detected at iteration") {
 		t.Errorf("steady run did not report detection:\n%s", steady.String())
 	}
 	// Identical except for the added steady-state line: drop it and compare.
@@ -74,5 +74,18 @@ func TestRunSteady(t *testing.T) {
 	if got := strings.Join(kept, "\n"); got != plain.String() {
 		t.Errorf("extrapolated report diverges from simulated:\n--- plain\n%s\n--- steady\n%s",
 			plain.String(), got)
+	}
+}
+
+// TestRunSteadyNotDetected: when the loop ends before the detector can
+// prove an orbit, the report says so instead of staying silent.
+func TestRunSteadyNotDetected(t *testing.T) {
+	var out, errw bytes.Buffer
+	args := []string{"-bench", "SP", "-class", "S", "-iters", "3", "-threads", "1", "-steady"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "steady state   not detected:") {
+		t.Errorf("short steady run did not explain the miss:\n%s", out.String())
 	}
 }

@@ -75,6 +75,11 @@ type sweeper struct {
 	done    int  // finished cells on the current progress line
 	collect bool // -metrics set: keep figure 1/4 cells for locality.md
 	cells   []upmgo.ExperimentCell
+	// steady accumulates each unique cell's steady-state accounting for
+	// the -steady footer (nil unless -steady). Cells recur across figures
+	// — Figure 1 is a subset of Figure 4 — so they are keyed by their
+	// memoization fingerprint to count each exactly once.
+	steady map[string]upmgo.SweepEvent
 }
 
 // metricsServed is a test seam: when a -metrics-addr server is up, run
@@ -100,6 +105,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	traceDir := fs.String("trace", "", "write per-cell Chrome traces and text summaries into this directory (disables memoization)")
 	steady := fs.Bool("steady", false, "detect each cell's steady state and fast-forward the remaining iterations (bit-identical results, much less host time)")
 	extrapolate := fs.Bool("extrapolate", true, "with -steady: extrapolate the tail once detected (false = detection-only, full simulation)")
+	periodk := fs.Int("periodk", 0, "with -steady: cap the detector's orbit length (0 = default cap 8, 1 = period-one detection only)")
+	campaign := fs.Bool("campaign", true, "with -steady: analytically fast-forward converging kernel-migration campaigns (false = always simulate them; results are bit-identical either way)")
+	elide := fs.Bool("elide", false, "arm the resident-elision fast path: exact immediate repeats of all-hit bulk reads over hot pages replay as flat arithmetic (bit-identical results)")
 	threads := fs.Int("threads", 0, "simulated team size per cell (0 = all CPUs; 1 = exactly reproducible)")
 	noFork := fs.Bool("nofork", false, "simulate every cell's cold start from scratch instead of forking shared prefix snapshots (bisection aid; results are identical)")
 	topo := fs.String("topo", "", "machine shape for every figure/table-2 cell: a [cube:]LxLx...xC spec (last component = CPUs per node) or preset (origin, hier64, hier128, hier256); empty = the class default machine. Table 1 always shows the default ladder; use cmd/latency -topo for others")
@@ -118,7 +126,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	o := upmgo.SweepOptions{Seed: *seed, Iterations: *iters, Threads: *threads,
-		Steady: *steady, Extrapolate: *extrapolate, Topo: *topo}
+		Steady: *steady, Extrapolate: *extrapolate, PeriodK: *periodk,
+		NoCampaignFF: !*campaign, ResidentElide: *elide, Topo: *topo}
 	switch strings.ToUpper(*class) {
 	case "S":
 		o.Class = upmgo.ClassS
@@ -215,6 +224,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if reg != nil {
 		handlers = append(handlers, func(ev upmgo.SweepEvent) { upmgo.PublishSweepEvent(reg, cache, ev) })
 	}
+	if *steady {
+		s.steady = map[string]upmgo.SweepEvent{}
+		handlers = append(handlers, s.recordSteady)
+	}
 	if !*quiet {
 		handlers = append(handlers, s.progressLine)
 	}
@@ -276,6 +289,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "sweep: %d cells simulated (%d forked from %d prefix snapshots), %d recalled from cache, done in %s (host time, -jobs %d)\n",
 			cs.Misses, cs.Forked, cs.Prefixes, cs.Hits, time.Since(t0).Round(time.Millisecond), njobs)
 	}
+	if line := s.steadySummary(); line != "" {
+		fmt.Fprintln(stderr, line)
+	}
 	if *metricsDir != "" && len(s.cells) > 0 {
 		if err := s.writeLocality(*metricsDir); err != nil {
 			return fmt.Errorf("-metrics: %w", err)
@@ -321,6 +337,61 @@ func (s *sweeper) writeLocality(dir string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// recordSteady keeps one finished event per unique cell (keyed by the
+// memoization fingerprint, falling back to bench+label for unmemoizable
+// configs) so the -steady footer counts each cell exactly once no matter
+// how many figures recalled it.
+func (s *sweeper) recordSteady(ev upmgo.SweepEvent) {
+	if !ev.Done || ev.Err != nil {
+		return
+	}
+	k, ok := ev.Spec.Key()
+	if !ok {
+		k = ev.Spec.Bench + "\x00" + ev.Spec.Config.Label()
+	}
+	s.steady[k] = ev
+}
+
+// steadySummary renders the -steady footer: how many unique cells
+// fast-forwarded, split by mechanism (a cell that drains a campaign and
+// then extrapolates counts under both), and the median iteration at which
+// detection fired. Empty when -steady was off or nothing finished.
+func (s *sweeper) steadySummary() string {
+	if len(s.steady) == 0 {
+		return ""
+	}
+	var p1, pk, camp, ffwd int
+	var ats []int
+	for _, ev := range s.steady {
+		if ev.SteadyAt > 0 {
+			ats = append(ats, ev.SteadyAt)
+		}
+		ff := false
+		if ev.ExtrapolatedIters > 0 {
+			ff = true
+			if ev.SteadyPeriod > 1 {
+				pk++
+			} else {
+				p1++
+			}
+		}
+		if ev.CampaignIters > 0 {
+			ff = true
+			camp++
+		}
+		if ff {
+			ffwd++
+		}
+	}
+	line := fmt.Sprintf("sweep: %d of %d cells extrapolated (period-1: %d, period-k: %d, campaign: %d)",
+		ffwd, len(s.steady), p1, pk, camp)
+	if len(ats) > 0 {
+		sort.Ints(ats)
+		line += fmt.Sprintf(", median SteadyAt=%d", ats[len(ats)/2])
+	}
+	return line
 }
 
 // progressLine renders finished cells as one live stderr line. The

@@ -49,6 +49,16 @@ type Event struct {
 	VirtualS float64       // simulated seconds of the cell's main loop
 	Host     time.Duration // host wall-clock spent on (or waiting for) the cell
 	Err      error
+	// Steady-state accounting of the finished cell, copied from its
+	// Result (zero when the cell simulated every iteration): the
+	// iteration the detector fired at, the proven orbit length (0 or 1 =
+	// period one), and the iterations covered by detector extrapolation
+	// and by the analytic campaign drain. cmd/sweep aggregates these into
+	// its -steady summary line.
+	SteadyAt          int
+	SteadyPeriod      int
+	ExtrapolatedIters int
+	CampaignIters     int
 }
 
 // Runner executes batches of cells on a bounded host worker pool. The
@@ -173,7 +183,10 @@ func (r Runner) Cells(ctx context.Context, specs []CellSpec) ([]Cell, error) {
 				c, hit, err := r.runCell(cctx, spec)
 				cells[i], errs[i] = c, err
 				emit(Event{Spec: spec, Index: i, Total: len(specs), Done: true,
-					CacheHit: hit, VirtualS: c.Seconds(), Host: time.Since(start), Err: err})
+					CacheHit: hit, VirtualS: c.Seconds(), Host: time.Since(start), Err: err,
+					SteadyAt: c.Result.SteadyAt, SteadyPeriod: c.Result.SteadyPeriod,
+					ExtrapolatedIters: c.Result.ExtrapolatedIters,
+					CampaignIters:     c.Result.CampaignIters})
 				if err != nil {
 					cancel()
 				}

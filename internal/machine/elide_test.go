@@ -1,0 +1,110 @@
+package machine
+
+import "testing"
+
+// elideMachine builds a machine with an armed 256-float array and returns
+// both. The array spans a handful of pages of the default geometry and
+// fits comfortably in L1, so an all-hit bulk read over it is exactly the
+// shape the resident-elision fast path targets.
+func elideMachine(t *testing.T, elide bool) (*Machine, *Array) {
+	t.Helper()
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.NewArray("a", 256)
+	if elide {
+		m.SetResidentElide(true)
+		lo, hi := a.PageRange()
+		m.ArmResidentPages([][2]uint64{{lo, hi}})
+	}
+	return m, a
+}
+
+// TestResidentElideBitIdentity: the golden contract — a machine with
+// elision armed charges exactly the counters and clocks of one without,
+// across repeated resident reads, remote-write invalidations that force
+// the replay validation to fail, and re-warmed repeats.
+func TestResidentElideBitIdentity(t *testing.T) {
+	vals := make([]float64, 256)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	run := func(elide bool) []int64 {
+		m, a := elideMachine(t, elide)
+		c := m.CPU(0)
+		a.SetRun(c, 0, vals)
+		for r := 0; r < 6; r++ {
+			a.GetRun(c, 0, 256) // arm, then replay repeatedly
+		}
+		a.GetRun(c, 64, 128) // sub-run: different key, re-arms
+		a.GetRun(c, 64, 128)
+		remote := m.CPU(m.NumCPUs() - 1)
+		a.SetRun(remote, 0, vals) // version bump: stale replay must fall back
+		for r := 0; r < 4; r++ {
+			a.GetRun(c, 0, 256)
+		}
+		return m.AppendCounters(nil)
+	}
+	plain := run(false)
+	elided := run(true)
+	if len(plain) != len(elided) {
+		t.Fatalf("counter vector lengths differ: %d vs %d", len(plain), len(elided))
+	}
+	for i := range plain {
+		if plain[i] != elided[i] {
+			t.Fatalf("counter %d diverges: plain %d, elided %d", i, plain[i], elided[i])
+		}
+	}
+}
+
+// TestResidentElideEngages: the fast path is not vacuous — after an
+// armed all-hit read, the replay validation succeeds on the resident run
+// and charges exactly n accesses and n L1-hit latencies.
+func TestResidentElideEngages(t *testing.T) {
+	m, a := elideMachine(t, true)
+	c := m.CPU(0)
+	vals := make([]float64, 256)
+	a.SetRun(c, 0, vals)
+	a.GetRun(c, 0, 256) // warm + arm
+	a.GetRun(c, 0, 256) // exact repeat: replays or re-arms, either way resident
+	if !c.repOK {
+		t.Fatal("repeat memo not armed after an all-hit resident read")
+	}
+	acc, clock := c.stat.Accesses, c.Now()
+	if !c.replayRun(a.Base(), a.Base()+255*8, 256, 8) {
+		t.Fatal("replay validation failed on a resident run")
+	}
+	if c.stat.Accesses != acc+256 {
+		t.Errorf("replay charged %d accesses, want 256", c.stat.Accesses-acc)
+	}
+	if got, want := c.Now()-clock, 256*m.Lat.L1Hit; got != want {
+		t.Errorf("replay charged %d ps, want %d", got, want)
+	}
+
+	// A remote write bumps the line versions: the stale replay must refuse.
+	remote := m.CPU(m.NumCPUs() - 1)
+	a.Set(remote, 0, 1)
+	if c.replayRun(a.Base(), a.Base()+255*8, 256, 8) {
+		t.Fatal("replay validated a run invalidated by a remote write")
+	}
+}
+
+// TestResidentElideDisarmed: pages outside every armed range, writes, and
+// non-power-of-two strides never take the fast path — the memo stays
+// unarmed, so the full path's behavior is trivially preserved.
+func TestResidentElideDisarmed(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetResidentElide(true) // elision on, but no pages armed
+	a := m.NewArray("a", 64)
+	c := m.CPU(0)
+	a.SetRun(c, 0, make([]float64, 64))
+	a.GetRun(c, 0, 64)
+	a.GetRun(c, 0, 64)
+	if c.repOK {
+		t.Fatal("memo armed over unarmed pages")
+	}
+}

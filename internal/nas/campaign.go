@@ -1,0 +1,408 @@
+package nas
+
+// Analytic fast-forward of kernel-migration campaigns. A campaign is the
+// regime the period-k detector cannot touch: the kernel engine keeps
+// migrating (or rejecting) pages every scan, so the page-home hash moves
+// every iteration and no counter orbit closes. But when the compute under
+// the campaign is *frozen* — every iteration issues the same reference
+// string and satisfies it entirely from the caches — the campaign's whole
+// remaining trajectory is determined by state the engine alone owns: the
+// reference-counter rows (which only the scans still touch, via decay and
+// reset), the page homes, and the scan-gating cursor. The drain below
+// replays exactly that: it walks the remaining barriers against a clone
+// of the page table with the engine's own StepBarrier code, computes each
+// remaining scan's moves and cost in closed form from the observed
+// barrier timing structure, and commits the final state in one step.
+//
+// Soundness. The keystone precondition is zero misses at every level of
+// the hierarchy (L1, L2, TLB, faults) per iteration over the confirmation
+// window: the simulator consults the page table, the TLB and memory
+// latencies only on the L2-miss path, so zero L2 misses prove compute
+// reads nothing the campaign mutates — migrating any page, live or dead,
+// is invisible to it — and zero L1 misses prove no access ever reads
+// cache replacement state (a miss's victim selection is the only reader
+// of the LRU ages), so the free-run replay's unadvanced cache metadata
+// can never surface. Compute is deterministic and its state is frozen
+// (every non-clock counter delta repeats exactly; zero misses mean cache
+// contents are static), so every future iteration reproduces the same
+// barrier timing structure: the per-barrier compute gaps and the
+// end-of-iteration tail. The engine's future decisions are then a
+// function of (rows, homes, cursor, barrier times), all of which the
+// drain replays exactly — same code path (StepBarrier), same inputs —
+// so the drained trajectory is the simulated one by construction.
+// campaign_test.go proves bit-identity per benchmark and placement.
+//
+// The decay-determinism precondition of the period-k issue is enforced
+// on top: the per-scan move series across the window must be
+// non-increasing (competitive campaigns decay as rows age; a
+// non-monotone series means the campaign is still being fed and must
+// not be fast-forwarded — steady_test.go's adversary pins this).
+
+import (
+	"upmgo/internal/kmig"
+	"upmgo/internal/machine"
+	"upmgo/internal/vm"
+)
+
+// campaignObserver watches one timed loop for a drainable campaign: a
+// front barrier hook records the settle time of every barrier, the
+// engine's scan observer attributes each scan's moves and cost to its
+// barrier, and observe() checks the closure preconditions once per
+// iteration. One-shot: after a drain (or a failed one) it disarms.
+type campaignObserver struct {
+	m      *machine.Machine
+	eng    *kmig.Engine
+	window int
+
+	disabled bool
+	haveEnd  bool
+	iterEnd  int64 // master clock at the previous observe()
+
+	// Per-barrier records of the current iteration, filled by the front
+	// hook and the engine's scan observer.
+	barT    []int64 // settle time the engine's hook received
+	barCost []int64 // cost the scan at that barrier charged (0 = no scan)
+	scanSeq []int   // per-scan moved counts, in scan order
+
+	// Marked-phase window of the current iteration (0,0 = no phase).
+	phaseStart, phaseEnd int64
+
+	// Baseline of the qualifying streak.
+	streak    int
+	base      []int64 // frozen delta vector (clocks, engine, PT-migrations zeroed)
+	baseIter  int64   // per-iteration compute time: dIter − scan costs
+	basePhase int64   // per-phase compute time: dPhase − in-phase scan costs
+	gaps      []int64 // pre-settle compute advance since the previous barrier end
+	tail      int64   // compute advance from the last barrier end to iteration end
+	inPhase   []bool  // barrier lies inside the marked phase
+	members   []bool  // per-CPU: clock advances with the iteration
+	lastMoved int     // previous scan's moved count (monotone decay check)
+
+	// Scratch reused across iterations.
+	norm     []int64
+	curGaps  []int64
+	curPhase []bool
+	curMemb  []bool
+}
+
+// newCampaignObserver attaches the observer's hooks. Must be called after
+// the engine attached (the front hook registers ahead of the engine's, so
+// it records the exact time the engine's gate will read).
+func newCampaignObserver(m *machine.Machine, eng *kmig.Engine, window int) *campaignObserver {
+	if window <= 0 {
+		window = steadyWindowDefault
+	}
+	camp := &campaignObserver{m: m, eng: eng, window: window, lastMoved: -1}
+	m.AddBarrierHookFront(func(now int64) int64 {
+		if !camp.disabled {
+			camp.barT = append(camp.barT, now)
+			camp.barCost = append(camp.barCost, 0)
+		}
+		return 0
+	})
+	eng.SetObserver(func(s kmig.ScanSample) {
+		if camp.disabled {
+			return
+		}
+		n := len(camp.barT)
+		if n == 0 || camp.barT[n-1] != s.Now {
+			// A scan the front hook did not see settle: the hook order
+			// assumption broke. Never propose a drain from here on.
+			camp.disabled = true
+			return
+		}
+		camp.barCost[n-1] = s.Cost
+		camp.scanSeq = append(camp.scanSeq, s.Moved)
+	})
+	return camp
+}
+
+// armPhase points the step's hooks at the observer so it learns the
+// marked phase's time window (needed to attribute in-phase scan costs to
+// PhasePS). Campaign cells never run record–replay, so the hook slots are
+// free.
+func (camp *campaignObserver) armPhase(h *Hooks) {
+	camp.phaseStart, camp.phaseEnd = 0, 0
+	h.BeforePhase = func(c *machine.CPU) { camp.phaseStart = c.Now() }
+	h.AfterPhase = func(c *machine.CPU) { camp.phaseEnd = c.Now() }
+}
+
+// observe evaluates the closure preconditions at the end of one timed
+// iteration: delta is the detector's full counter-delta vector for the
+// iteration, dIter/dPhase its durations, iterEnd the master clock now.
+// It reports whether a drain is proven safe (window consecutive
+// qualifying, structurally identical iterations with ongoing, decaying
+// campaign activity).
+func (camp *campaignObserver) observe(delta []int64, dIter, dPhase, iterEnd int64) bool {
+	if camp.disabled {
+		return false
+	}
+	propose := false
+	if camp.haveEnd {
+		propose = camp.evaluate(delta, dIter, dPhase, iterEnd)
+	}
+	camp.haveEnd = true
+	camp.iterEnd = iterEnd
+	camp.barT = camp.barT[:0]
+	camp.barCost = camp.barCost[:0]
+	camp.scanSeq = camp.scanSeq[:0]
+	return propose
+}
+
+// Structural indices into the per-CPU counter block (machine.AppendCounters
+// layout): the clock and the miss counters that must stay at zero delta.
+// L1 misses are included deliberately: a miss is the only reader of cache
+// replacement state (LRU ages, victim selection), so zero misses at every
+// level proves the drained iterations neither read nor need the cache
+// metadata the free-run replay leaves unadvanced — and by induction the
+// post-campaign regime stays miss-free too.
+const (
+	cpuClockOff   = 0
+	cpuL1MissOff  = 2
+	cpuL2MissOff  = 3
+	cpuTLBMissOff = 4
+	cpuFaultsOff  = 7
+	cpuL1CMissOff = 9
+	cpuL2CMissOff = 12
+)
+
+func (camp *campaignObserver) evaluate(delta []int64, dIter, dPhase, iterEnd int64) bool {
+	B := len(camp.barT)
+	if B == 0 {
+		camp.streak = 0
+		return false
+	}
+	stride := camp.m.CountersPerCPU()
+	ncpu := camp.m.NumCPUs()
+	M := ncpu * stride // page-table counter block
+	E := M + 4         // engine counter block (== m.CounterLen())
+	engN := camp.eng.CounterLen()
+
+	// Totals of this iteration's engine activity, per the sample stream.
+	var cost, phaseCost int64
+	moved := 0
+	for b := 0; b < B; b++ {
+		cost += camp.barCost[b]
+		if camp.phaseStart <= camp.barT[b] && camp.barT[b] < camp.phaseEnd {
+			phaseCost += camp.barCost[b]
+		}
+	}
+	for _, mv := range camp.scanSeq {
+		moved += mv
+	}
+	rejected := delta[E+3]
+
+	// Keystone: compute must be entirely cache-resident — not one miss at
+	// any level of the hierarchy, on any CPU.
+	for i := 0; i < ncpu; i++ {
+		b := i * stride
+		if delta[b+cpuL1MissOff] != 0 || delta[b+cpuL2MissOff] != 0 ||
+			delta[b+cpuTLBMissOff] != 0 || delta[b+cpuFaultsOff] != 0 ||
+			delta[b+cpuL1CMissOff] != 0 || delta[b+cpuL2CMissOff] != 0 {
+			camp.streak = 0
+			return false
+		}
+	}
+	// Page-table counters: no faults, no replication traffic; the
+	// migration tally must match the engine's scans exactly.
+	if delta[M] != 0 || delta[M+1] != int64(moved) || delta[M+2] != 0 || delta[M+3] != 0 {
+		camp.streak = 0
+		return false
+	}
+	// Engine counters must agree with the sample stream: every barrier
+	// was seen, every scan sampled, every move and rejection attributed.
+	if delta[E] != int64(B) || delta[E+1] != int64(len(camp.scanSeq)) ||
+		delta[E+2] != int64(moved) || delta[E+4] != cost {
+		camp.streak = 0
+		return false
+	}
+	// Clock classification: members advance by exactly the iteration
+	// span, everyone else not at all.
+	camp.curMemb = camp.curMemb[:0]
+	for i := 0; i < ncpu; i++ {
+		d := delta[i*stride+cpuClockOff]
+		switch d {
+		case dIter:
+			camp.curMemb = append(camp.curMemb, true)
+		case 0:
+			camp.curMemb = append(camp.curMemb, false)
+		default:
+			camp.streak = 0
+			return false
+		}
+	}
+	// Barrier timing structure: per-barrier compute gaps and the
+	// end-of-iteration tail, with costs peeled off.
+	camp.curGaps = camp.curGaps[:0]
+	camp.curPhase = camp.curPhase[:0]
+	prevEnd := camp.iterEnd
+	for b := 0; b < B; b++ {
+		camp.curGaps = append(camp.curGaps, camp.barT[b]-prevEnd)
+		camp.curPhase = append(camp.curPhase,
+			camp.phaseStart <= camp.barT[b] && camp.barT[b] < camp.phaseEnd)
+		prevEnd = camp.barT[b] + camp.barCost[b]
+	}
+	tail := iterEnd - prevEnd
+	baseIter := dIter - cost
+	basePhase := dPhase - phaseCost
+
+	// Frozen compute vector: everything except the clocks, the engine
+	// block and the PT migration tally must repeat exactly.
+	camp.norm = append(camp.norm[:0], delta...)
+	for i := 0; i < ncpu; i++ {
+		camp.norm[i*stride+cpuClockOff] = 0
+	}
+	camp.norm[M+1] = 0
+	for j := E; j < E+engN; j++ {
+		camp.norm[j] = 0
+	}
+	camp.norm[E+engN] = 0   // cumIter (≡ dIter, normalised via baseIter)
+	camp.norm[E+engN+1] = 0 // cumPhase
+
+	// Monotone decay (the issue's determinism precondition): the per-scan
+	// moved series must be non-increasing — within this iteration always,
+	// and across the whole window when continuing a streak. A
+	// MaxPerScan-capped campaign plateaus at the cap, so "non-increasing",
+	// not "strictly decreasing". lastMoved −1 means no scan seen yet.
+	withinOK, lastWithin := monotoneSeq(-1, camp.scanSeq)
+	crossOK, lastCross := monotoneSeq(camp.lastMoved, camp.scanSeq)
+
+	same := camp.streak > 0 && crossOK &&
+		int64sEqual(camp.norm, camp.base) &&
+		int64sEqual(camp.curGaps, camp.gaps) &&
+		boolsEqual(camp.curPhase, camp.inPhase) &&
+		boolsEqual(camp.curMemb, camp.members) &&
+		tail == camp.tail && baseIter == camp.baseIter && basePhase == camp.basePhase
+	switch {
+	case same:
+		camp.streak++
+		camp.lastMoved = lastCross
+	case withinOK:
+		camp.streak = 1
+		camp.base = append(camp.base[:0], camp.norm...)
+		camp.gaps = append(camp.gaps[:0], camp.curGaps...)
+		camp.inPhase = append(camp.inPhase[:0], camp.curPhase...)
+		camp.members = append(camp.members[:0], camp.curMemb...)
+		camp.tail, camp.baseIter, camp.basePhase = tail, baseIter, basePhase
+		camp.lastMoved = lastWithin
+	default:
+		camp.streak = 0
+		camp.lastMoved = -1
+	}
+	// Propose only an ongoing campaign: the latest iteration still moved
+	// pages. (A rejected-only iteration cannot occur — the throttle only
+	// rejects once MaxPerScan pages moved — but check both for clarity.)
+	return camp.streak >= camp.window && (moved > 0 || rejected > 0)
+}
+
+// drainPlan is a computed campaign closure, ready to commit.
+type drainPlan struct {
+	V                     int     // iterations drained
+	iterPS, phasePS       []int64 // their per-iteration and per-phase times
+	moved, rejected, cost int64   // engine counter totals over the drain
+	cur                   kmig.ScanCursor
+	clone                 *vm.PageTable
+}
+
+// drain computes the campaign's remaining trajectory in closed form: it
+// replays up to budget iterations' barriers against a clone of the page
+// table using the engine's own StepBarrier, stopping before the first
+// quiet iteration (no moves, no rejections — that iteration belongs to
+// the post-campaign steady regime and is left to the charged loop). Each
+// iteration runs against a fresh sub-clone so a quiet iteration's scan
+// side effects (row decay, gating cursor) are never committed. The
+// returned plan's clone holds the exact page table — homes, rows, gens,
+// migration tally — a full simulation of those V iterations would reach.
+func (camp *campaignObserver) drain(budget int) drainPlan {
+	plan := drainPlan{
+		clone: camp.m.PT.Clone(),
+		cur:   camp.eng.Cursor(),
+	}
+	now := camp.iterEnd
+	B := len(camp.gaps)
+	for plan.V < budget {
+		clone := plan.clone.Clone()
+		cur := plan.cur
+		vnow := now
+		var cost, phaseCost, rejected int64
+		moved := 0
+		for b := 0; b < B; b++ {
+			vnow += camp.gaps[b]
+			r := camp.eng.StepBarrier(&cur, clone, vnow, false)
+			if r.Scanned {
+				moved += r.Moved
+				rejected += r.Rejected
+				cost += r.Cost
+				if camp.inPhase[b] {
+					phaseCost += r.Cost
+				}
+				vnow += r.Cost
+			}
+		}
+		vnow += camp.tail
+		if moved == 0 && rejected == 0 {
+			break
+		}
+		plan.V++
+		plan.clone, plan.cur, now = clone, cur, vnow
+		plan.iterPS = append(plan.iterPS, camp.baseIter+cost)
+		plan.phasePS = append(plan.phasePS, camp.basePhase+phaseCost)
+		plan.moved += int64(moved)
+		plan.rejected += rejected
+		plan.cost += cost
+	}
+	return plan
+}
+
+// machineDelta returns the frozen per-iteration machine counter delta
+// with member clocks restored to the compute time — the vector one
+// drained iteration advances the machine by, costs excluded (they are
+// added separately per the drain's actual scan costs).
+func (camp *campaignObserver) machineDelta() []int64 {
+	stride := camp.m.CountersPerCPU()
+	d := append([]int64(nil), camp.base[:camp.m.CounterLen()]...)
+	for i, member := range camp.members {
+		if member {
+			d[i*stride+cpuClockOff] = camp.baseIter
+		}
+	}
+	return d
+}
+
+// clockDelta returns a machine counter vector that advances every member
+// clock by ps and nothing else — the drained scans' cost share.
+func (camp *campaignObserver) clockDelta(ps int64) []int64 {
+	stride := camp.m.CountersPerCPU()
+	d := make([]int64, camp.m.CounterLen())
+	for i, member := range camp.members {
+		if member {
+			d[i*stride+cpuClockOff] = ps
+		}
+	}
+	return d
+}
+
+// monotoneSeq reports whether seq, prefixed by a previous value (−1 = no
+// previous scan), is non-increasing, and returns the final value.
+func monotoneSeq(prev int, seq []int) (bool, int) {
+	last := prev
+	for _, mv := range seq {
+		if last >= 0 && mv > last {
+			return false, last
+		}
+		last = mv
+	}
+	return true, last
+}
+
+func boolsEqual(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,110 @@
+package nas_test
+
+import (
+	"reflect"
+	"testing"
+
+	"upmgo/internal/nas"
+	"upmgo/internal/nas/bt"
+	"upmgo/internal/nas/cg"
+	"upmgo/internal/nas/ft"
+	"upmgo/internal/nas/mg"
+	"upmgo/internal/nas/sp"
+	"upmgo/internal/vm"
+)
+
+// TestResidentElideNASBitIdentity is the end-to-end contract of the
+// resident-elision fast path: arming it must leave every Result field —
+// virtual times, per-iteration spans, hardware counters, engine
+// statistics, verification — bit-identical for every benchmark, engine
+// and placement. No masking: elision sets no metadata fields, so the
+// two Results must be fully equal. The real solvers rarely repeat a run
+// immediately (their reference strings interleave many arrays), so most
+// cells exercise the validation-refuses-then-full-walk side; the
+// machine-level tests prove the replay side charges identically when it
+// does engage, and the synthetic kernel below forces it at this level.
+func TestResidentElideNASBitIdentity(t *testing.T) {
+	builders := []struct {
+		name  string
+		build nas.Builder
+	}{
+		{"BT", bt.New}, {"SP", sp.New}, {"CG", cg.New},
+		{"MG", mg.New}, {"FT", ft.New},
+	}
+	engines := []struct {
+		name string
+		set  func(c *nas.Config)
+	}{
+		{"plain", func(c *nas.Config) {}},
+		{"kmig", func(c *nas.Config) { c.KernelMig = true }},
+		{"upmlib", func(c *nas.Config) { c.UPM = nas.UPMDistribute }},
+	}
+	for _, b := range builders {
+		for _, p := range []vm.Policy{vm.FirstTouch, vm.WorstCase} {
+			t.Run(b.name+"/"+p.String(), func(t *testing.T) {
+				for _, eng := range engines {
+					cfg := nas.Config{Class: nas.ClassS, Placement: p, Threads: 1, Iterations: 6}
+					eng.set(&cfg)
+					base, err := nas.Run(b.build, cfg)
+					if err != nil {
+						t.Fatalf("%s base: %v", eng.name, err)
+					}
+					ecfg := cfg
+					ecfg.ResidentElide = true
+					elided, err := nas.Run(b.build, ecfg)
+					if err != nil {
+						t.Fatalf("%s elided: %v", eng.name, err)
+					}
+					if !reflect.DeepEqual(base, elided) {
+						t.Errorf("%s: elided run diverges from full simulation:\n base   %+v\n elided %+v",
+							eng.name, base, elided)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestResidentElideSynthEngagedBitIdentity drives the path that must
+// actually replay: the synthetic kernel reads the same hot run four
+// times back-to-back per step, so from the second read on the memo is
+// an exact immediate repeat over armed, cache-resident pages. Checked
+// with and without the steady-state detector — elision must neither
+// change the counters nor move the detection point.
+func TestResidentElideSynthEngagedBitIdentity(t *testing.T) {
+	build := synthBuilder(0, 0)
+	cfg := nas.Config{Class: nas.ClassS, Placement: vm.FirstTouch, Threads: 1, Iterations: 10}
+	base, err := nas.Run(build, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecfg := cfg
+	ecfg.ResidentElide = true
+	elided, err := nas.Run(build, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, elided) {
+		t.Fatalf("elided run diverges:\n base   %+v\n elided %+v", base, elided)
+	}
+
+	scfg := cfg
+	scfg.SteadyState, scfg.Extrapolate = true, true
+	steady, err := nas.Run(build, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secfg := scfg
+	secfg.ResidentElide = true
+	steadyElided, err := nas.Run(build, secfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steady.SteadyAt == 0 {
+		t.Fatal("synthetic kernel never reached steady state")
+	}
+	if !reflect.DeepEqual(steady, steadyElided) {
+		t.Fatalf("elision moved the steady-state result:\n steady        %+v\n steady+elide  %+v",
+			steady, steadyElided)
+	}
+}

@@ -3,11 +3,13 @@ package nas
 // Steady-state fast-forward. The NAS main loops are iterative solvers on
 // fixed partitionings: once the migration engines stop moving pages the
 // reference string repeats exactly, so every later iteration advances
-// every virtual-time quantity by the same delta. The detector proves the
-// repetition from the counters themselves — it fingerprints nothing about
-// the kernel — and the driver then extrapolates the remaining iterations
-// by scalar-multiplying the per-iteration delta into the machine, engine
-// and per-phase counters instead of simulating them.
+// every virtual-time quantity by the same delta — or, when an engine's
+// scan cadence divides the loop unevenly (kmig's ScanEvery), by a short
+// repeating cycle of deltas. The detector proves the repetition from the
+// counters themselves — it fingerprints nothing about the kernel — and
+// the driver then extrapolates the remaining iterations by multiplying
+// the proven cycle of per-iteration deltas into the machine, engine and
+// per-phase counters instead of simulating them.
 //
 // Soundness. The simulator is a deterministic function of (kernel data,
 // page homes + counter rows, cache/TLB/clock state, engine decision
@@ -17,14 +19,17 @@ package nas
 // engines' cumulative statistics and decision cursors, the per-iteration
 // and per-phase durations, and a hash of the page-home map (plus the
 // reference-counter rows when the kernel engine — the only consumer whose
-// decisions read them — is enabled). If `window` consecutive iterations
-// produce identical deltas over that vector while the home map stays
-// value-identical, the system is on a period-one orbit: the next
-// iteration starts from the same relative state as the previous one and
-// must reproduce the same delta. Multiplying the delta by the remaining
-// iteration count therefore lands on exactly the counters a full
-// simulation would reach — the bit-identity tests in steady_test.go
-// assert this per benchmark, engine and placement.
+// decisions read them — is enabled). If the last (window−1)·k deltas each
+// equal the delta k iterations before them, with the home-map hash
+// equally periodic, the system is on a period-k orbit: window−1 full
+// cycles reproduced the cycle before them, so the next iteration starts
+// from the same relative state as the one k back and must reproduce its
+// delta. Summing the cycle's deltas with the right multiplicities (the
+// remaining iterations walk the cycle positions in order) therefore lands
+// on exactly the counters a full simulation would reach — the
+// bit-identity tests in steady_test.go assert this per benchmark, engine,
+// placement and period. k=1 reduces to the original period-one detector:
+// same firing iteration, same extrapolation.
 //
 // The kernel's numerics are not extrapolated: the driver re-executes the
 // remaining steps in the machine's free-run mode, where data movement is
@@ -38,14 +43,88 @@ import (
 )
 
 // steadyWindowDefault is the number of consecutive identical
-// per-iteration deltas required before the loop is declared steady.
+// per-iteration cycles required before the loop is declared steady.
 // Three balances confidence against wasted simulation: the engines'
 // transients (UPMlib deactivation, kernel-engine decay convergence)
 // produce at most pairwise-equal deltas, never three in a row.
 const steadyWindowDefault = 3
 
+// steadyPeriodMax caps the orbit length the detector considers. Campaign
+// cells cycle through a small set of scan states (kmig's ScanEvery and
+// decay cadence), so short periods cover every real cell; a larger cap
+// only delays the adversarial fallback (a period-9 string must run
+// fully simulated — steady_test.go pins it).
+const steadyPeriodMax = 8
+
+// periodTracker is the pure cycle-detection core: a stream of
+// (delta-vector, state-hash) observations in, the minimal proven period
+// out. Split from steadyDetector so synthetic streams — period-2..8
+// cycles, the period-9 adversary, aperiodic noise — can be unit-tested
+// without building a machine.
+type periodTracker struct {
+	kmax, window int
+	ring         [][]int64 // last kmax delta vectors, slot = index % kmax
+	hashes       []uint64  // state hash observed with each ring entry
+	n            int       // observations pushed so far
+	matches      []int     // matches[k-1]: consecutive successful lag-k compares
+	period       int       // proven period, set when push returns true
+}
+
+func newPeriodTracker(kmax, window int) *periodTracker {
+	if kmax < 1 {
+		kmax = 1
+	}
+	if window < 2 {
+		window = 2
+	}
+	return &periodTracker{
+		kmax:    kmax,
+		window:  window,
+		ring:    make([][]int64, kmax),
+		hashes:  make([]uint64, kmax),
+		matches: make([]int, kmax),
+	}
+}
+
+// push records one observation and reports whether a period has just been
+// proven. The firing rule for period k is matches[k] ≥ (window−1)·k:
+// the last window−1 whole cycles each reproduced the cycle before them.
+// Candidates are tested in ascending k, so the proven period is minimal —
+// and for k=1 the rule degenerates to window−1 consecutive identical
+// deltas, exactly the original period-one detector's streak ≥ window.
+func (t *periodTracker) push(delta []int64, hash uint64) bool {
+	j := t.n + 1
+	for k := 1; k <= t.kmax && k < j; k++ {
+		s := (j - k) % t.kmax
+		if hash == t.hashes[s] && int64sEqual(delta, t.ring[s]) {
+			t.matches[k-1]++
+		} else {
+			t.matches[k-1] = 0
+		}
+	}
+	s := j % t.kmax
+	t.ring[s] = append(t.ring[s][:0], delta...)
+	t.hashes[s] = hash
+	t.n = j
+	for k := 1; k <= t.kmax && k < j; k++ {
+		if t.matches[k-1] >= (t.window-1)*k {
+			t.period = k
+			return true
+		}
+	}
+	return false
+}
+
+// cycleDelta returns the proven cycle's delta at position p (0 ≤ p <
+// period) in chronological order: position 0 is the delta the iteration
+// after detection will reproduce. Valid only after push returned true.
+func (t *periodTracker) cycleDelta(p int) []int64 {
+	k := t.period
+	return t.ring[(t.n-k+1+p)%t.kmax]
+}
+
 // steadyDetector accumulates one counter snapshot per timed iteration and
-// reports when the last `window` deltas are identical.
+// reports when the trailing deltas prove a period-k orbit.
 type steadyDetector struct {
 	m      *machine.Machine
 	eng    *kmig.Engine
@@ -62,15 +141,20 @@ type steadyDetector struct {
 	// per-iteration values participate in the delta comparison.
 	cumIter, cumPhase int64
 
-	prev, cur, delta, prevDelta []int64
-	prevHash                    uint64
-	havePrev, haveDelta         bool
-	streak                      int
+	trk              *periodTracker
+	prev, cur, delta []int64
+	havePrev         bool
 }
 
-func newSteadyDetector(m *machine.Machine, eng *kmig.Engine, u *upm.UPM, window int, withRows bool) *steadyDetector {
+// newSteadyDetector builds a detector with the given confirmation window
+// (0 = default 3) and period cap kmax (0 = default 8; 1 restricts to the
+// original period-one detection).
+func newSteadyDetector(m *machine.Machine, eng *kmig.Engine, u *upm.UPM, window, kmax int, withRows bool) *steadyDetector {
 	if window <= 0 {
 		window = steadyWindowDefault
+	}
+	if kmax <= 0 || kmax > steadyPeriodMax {
+		kmax = steadyPeriodMax
 	}
 	n := m.CounterLen() + eng.CounterLen() + 2
 	if u != nil {
@@ -78,10 +162,10 @@ func newSteadyDetector(m *machine.Machine, eng *kmig.Engine, u *upm.UPM, window 
 	}
 	return &steadyDetector{
 		m: m, eng: eng, u: u, window: window, withRows: withRows,
-		prev:      make([]int64, 0, n),
-		cur:       make([]int64, 0, n),
-		delta:     make([]int64, 0, n),
-		prevDelta: make([]int64, 0, n),
+		trk:   newPeriodTracker(kmax, window),
+		prev:  make([]int64, 0, n),
+		cur:   make([]int64, 0, n),
+		delta: make([]int64, 0, n),
 	}
 }
 
@@ -97,16 +181,25 @@ func (d *steadyDetector) snapshot(dst []int64) []int64 {
 
 // observe records the counter state at the end of one timed iteration
 // (iterPS and phasePS are that iteration's durations) and reports whether
-// the loop has just been proven steady: the last `window` deltas
-// identical and the page-home map stationary across them.
+// the loop has just been proven steady; period() then yields the orbit
+// length. The hash is folded into the periodicity test by value, not by
+// delta: counters advance, the home map must cycle through the same k
+// states.
 func (d *steadyDetector) observe(iterPS, phasePS int64) bool {
 	d.cumIter += iterPS
 	d.cumPhase += phasePS
 	d.cur = d.snapshot(d.cur[:0])
 	hash := d.m.PT.StateHash(d.m.AllocatedPages(), d.withRows)
+	if d.withRows {
+		// The kernel engine's ScanEvery gate position is decision state the
+		// cumulative counters cannot expose (the gate reads barriers modulo
+		// the cadence): fold it into the hash so iterations at different
+		// gate phases never compare equal. Trivial gates return 0, keeping
+		// every historical cell's detection point unchanged.
+		hash = hash*0x100000001b3 + uint64(d.eng.GatePhase())
+	}
 	if !d.havePrev {
 		d.prev, d.cur = d.cur, d.prev
-		d.prevHash = hash
 		d.havePrev = true
 		return false
 	}
@@ -114,41 +207,67 @@ func (d *steadyDetector) observe(iterPS, phasePS int64) bool {
 	for i, v := range d.cur {
 		d.delta = append(d.delta, v-d.prev[i])
 	}
-	// The hash is compared by value, not by delta: counters advance, the
-	// home map must not.
-	if d.haveDelta && hash == d.prevHash && int64sEqual(d.delta, d.prevDelta) {
-		d.streak++
-	} else {
-		d.streak = 1
-	}
-	d.haveDelta = true
 	d.prev, d.cur = d.cur, d.prev
-	d.prevDelta, d.delta = d.delta, d.prevDelta
-	d.prevHash = hash
-	return d.streak >= d.window
+	return d.trk.push(d.delta, hash)
 }
 
-// iterDelta and phaseDelta return the proven per-iteration durations.
-// Valid only after observe has returned true.
-func (d *steadyDetector) iterDelta() int64  { return d.prevDelta[len(d.prevDelta)-2] }
-func (d *steadyDetector) phaseDelta() int64 { return d.prevDelta[len(d.prevDelta)-1] }
+// period returns the proven orbit length. Valid only after observe has
+// returned true.
+func (d *steadyDetector) period() int { return d.trk.period }
 
-// fastForward advances machine and engine counters by k repetitions of
-// the proven per-iteration delta — the extrapolation itself. Valid only
-// after observe has returned true.
-func (d *steadyDetector) fastForward(k int64) {
+// lastDelta returns the most recent per-iteration delta vector (nil until
+// two observations exist). The campaign observer reads it: detector and
+// observer share one snapshot per iteration.
+func (d *steadyDetector) lastDelta() []int64 {
+	if d.trk.n == 0 {
+		return nil
+	}
+	return d.trk.ring[d.trk.n%d.trk.kmax]
+}
+
+// cycleIterPhase returns the proven per-iteration and per-phase durations
+// at cycle position p — the values extrapolated iterations at that
+// position append to IterPS/PhasePS. Valid only after observe has
+// returned true.
+func (d *steadyDetector) cycleIterPhase(p int) (int64, int64) {
+	dd := d.trk.cycleDelta(p)
+	return dd[len(dd)-2], dd[len(dd)-1]
+}
+
+// fastForward advances machine and engine counters by r further
+// iterations of the proven orbit: the remaining iterations walk the cycle
+// positions in order starting at position 0, so position p occurs
+// ⌈(r−p)/k⌉ times. Valid only after observe has returned true. For
+// period 1 this is exactly r applications of the single proven delta.
+func (d *steadyDetector) fastForward(r int64) {
+	k := int64(d.trk.period)
+	for p := int64(0); p < k; p++ {
+		mult := r / k
+		if p < r%k {
+			mult++
+		}
+		if mult == 0 {
+			continue
+		}
+		d.applyDelta(d.trk.cycleDelta(int(p)), mult)
+	}
+}
+
+// applyDelta adds mult repetitions of one per-iteration delta vector to
+// the machine, engine and cumulative counters.
+func (d *steadyDetector) applyDelta(dd []int64, mult int64) {
 	off := d.m.CounterLen()
-	d.m.ApplyCounterDelta(d.prevDelta[:off], k)
+	d.m.ApplyCounterDelta(dd[:off], mult)
 	n := d.eng.CounterLen()
-	d.eng.ApplyCounterDelta(d.prevDelta[off:off+n], k)
+	d.eng.ApplyCounterDelta(dd[off:off+n], mult)
 	off += n
 	if d.u != nil {
 		n = d.u.CounterLen()
-		d.u.ApplyCounterDelta(d.prevDelta[off:off+n], k)
+		d.u.ApplyCounterDelta(dd[off:off+n], mult)
 		off += n
 	}
-	d.cumIter += d.prevDelta[off] * k
-	d.cumPhase += d.prevDelta[off+1] * k
+	d.cumIter += dd[off] * mult
+	d.cumPhase += dd[off+1] * mult
 }
 
 func int64sEqual(a, b []int64) bool {

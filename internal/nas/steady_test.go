@@ -15,12 +15,15 @@ import (
 	"upmgo/internal/vm"
 )
 
-// maskSteady zeroes the two fields extrapolation is allowed to set; every
-// other Result field must be bit-identical between an extrapolated and a
-// fully simulated run.
+// maskSteady zeroes the detection-metadata fields extrapolation is
+// allowed to set; every other Result field must be bit-identical between
+// an extrapolated and a fully simulated run.
 func maskSteady(r nas.Result) nas.Result {
 	r.SteadyAt = 0
+	r.SteadyPeriod = 0
 	r.ExtrapolatedIters = 0
+	r.CampaignAt = 0
+	r.CampaignIters = 0
 	return r
 }
 
