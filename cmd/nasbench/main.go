@@ -128,11 +128,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "  steady state   period %d detected at iteration %d; %d iterations extrapolated\n",
 			period, r.SteadyAt, r.ExtrapolatedIters)
 	} else if *steady {
-		why := "counter deltas never repeated (aperiodic reference string or an ongoing migration campaign)"
-		if r.CampaignIters > 0 {
-			why = "no steady orbit proven after the campaign drained"
+		// The typed diagnosis replaces the old guesswork string: the
+		// detector reports what actually blocked it (reason + evidence).
+		if w := r.FastPath.WhyNot; w != nil {
+			fmt.Fprintf(stdout, "  steady state   not detected [%s]: %s\n", w.Reason, w)
+		} else {
+			fmt.Fprintf(stdout, "  steady state   not detected\n")
 		}
-		fmt.Fprintf(stdout, "  steady state   not detected: %s\n", why)
 	}
 	if r.VerifyErr != nil {
 		fmt.Fprintf(stdout, "  VERIFY FAILED  %v\n", r.VerifyErr)

@@ -85,7 +85,7 @@ func TestRunSteadyNotDetected(t *testing.T) {
 	if err := run(args, &out, &errw); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out.String(), "steady state   not detected:") {
-		t.Errorf("short steady run did not explain the miss:\n%s", out.String())
+	if !strings.Contains(out.String(), "steady state   not detected [loop_too_short]:") {
+		t.Errorf("short steady run did not give the typed diagnosis:\n%s", out.String())
 	}
 }

@@ -29,14 +29,18 @@
 //	                                # serves the same store over HTTP)
 //	sweep -fig 4 -topo hier64       # Figure 4 on a 64-CPU hierarchy
 //	sweep -toposcale -steady        # the Figure 4 grid at 64/128/256 CPUs
+//	sweep -all -report report.json  # + host-time breakdown (traceview report)
+//	sweep -all -log json -quiet     # structured per-cell completion log
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -75,6 +79,13 @@ type sweeper struct {
 	done    int  // finished cells on the current progress line
 	collect bool // -metrics set: keep figure 1/4 cells for locality.md
 	cells   []upmgo.ExperimentCell
+	// Progress-line pacing state: when the current batch started and how
+	// much per-cell Host time has finished, for the elapsed/ETA readout.
+	batchStart time.Time
+	hostSum    time.Duration
+	// reports accumulates every finished cell's host-time breakdown for
+	// the -report file (nil unless -report).
+	reports []*upmgo.CellReport
 	// steady accumulates each unique cell's steady-state accounting for
 	// the -steady footer (nil unless -steady). Cells recur across figures
 	// — Figure 1 is a subset of Figure 4 — so they are keyed by their
@@ -117,6 +128,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	metricsDir := fs.String("metrics", "", "write per-cell NUMA metrics (JSON/CSV/Prometheus series, page heatmaps) and a locality.md digest into this directory (disables memoization)")
 	metricsAddr := fs.String("metrics-addr", "", "serve live /metrics, /debug/vars and /debug/pprof on this address while sweeping (e.g. localhost:9090; disables memoization)")
 	storeDir := fs.String("store", "", "content-addressed result store directory: recall cells earlier runs (or cmd/sweepd) persisted, persist everything newly simulated")
+	reportPath := fs.String("report", "", "write a JSON sweep report (host time by stage, cells by fast-path kind, top slowest cells, why-not histogram) to this file; render it with `traceview report`")
+	logFormat := fs.String("log", "off", "structured per-cell completion log to stderr: text or json (slog; off = none, the default — pairs best with -quiet)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -175,6 +188,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("-store: %w", err)
 		}
 	}
+	logger, err := newLogger(*logFormat, stderr)
+	if err != nil {
+		return err
+	}
+	var reportf *os.File
+	if *reportPath != "" {
+		f, err := os.Create(*reportPath)
+		if err != nil {
+			return fmt.Errorf("-report: %w", err)
+		}
+		defer f.Close()
+		reportf = f
+	}
 	var memf *os.File
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
@@ -208,6 +234,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *metricsAddr != "" {
 		reg = upmgo.NewMetricsRegistry()
 		upmgo.DescribeSweepGauges(reg)
+		upmgo.PublishBuildInfo(reg)
 		r.MetricsRegistry = reg
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
@@ -228,6 +255,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		s.steady = map[string]upmgo.SweepEvent{}
 		handlers = append(handlers, s.recordSteady)
 	}
+	if reportf != nil {
+		handlers = append(handlers, func(ev upmgo.SweepEvent) {
+			if ev.Done && ev.Report != nil {
+				s.reports = append(s.reports, ev.Report)
+			}
+		})
+	}
+	if logger != nil {
+		handlers = append(handlers, func(ev upmgo.SweepEvent) { logCell(logger, ev) })
+	}
 	if !*quiet {
 		handlers = append(handlers, s.progressLine)
 	}
@@ -242,7 +279,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	t0 := time.Now()
-	var err error
 	switch {
 	case *all:
 		err = s.runTable1()
@@ -292,6 +328,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if line := s.steadySummary(); line != "" {
 		fmt.Fprintln(stderr, line)
 	}
+	if logger != nil {
+		logger.Info("sweep", "simulated", cs.Misses, "recalled", cs.Hits,
+			"from_store", cs.DiskHits, "elapsed", time.Since(t0), "jobs", njobs)
+	}
+	if reportf != nil {
+		if err := s.writeReport(reportf, time.Since(t0)); err != nil {
+			return fmt.Errorf("-report: %w", err)
+		}
+		fmt.Fprintf(stderr, "sweep: report written to %s (%d cell runs)\n", *reportPath, len(s.reports))
+	}
 	if *metricsDir != "" && len(s.cells) > 0 {
 		if err := s.writeLocality(*metricsDir); err != nil {
 			return fmt.Errorf("-metrics: %w", err)
@@ -307,6 +353,59 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// newLogger builds the optional structured sweep log: slog to w in the
+// chosen format, nil when format is "off" (the default — unlike sweepd,
+// the CLI's human-readable progress line is the primary surface).
+func newLogger(format string, w io.Writer) (*slog.Logger, error) {
+	switch format {
+	case "off":
+		return nil, nil
+	case "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	default:
+		return nil, fmt.Errorf("-log: unknown format %q (want off, text or json)", format)
+	}
+}
+
+// logCell emits one structured line per finished cell: identity, host
+// and virtual cost, provenance, fast-path kind and (when the steady
+// detector gave up) the typed why-not reason.
+func logCell(logger *slog.Logger, ev upmgo.SweepEvent) {
+	if !ev.Done {
+		return
+	}
+	args := []any{"bench", ev.Spec.Bench, "label", ev.Spec.Config.Label(),
+		"host", ev.Host, "virtual_s", ev.VirtualS}
+	if rep := ev.Report; rep != nil {
+		args = append(args, "source", rep.Source, "kind", string(rep.Kind))
+		if w := rep.FastPath.WhyNot; w != nil {
+			args = append(args, "why_not", string(w.Reason))
+		}
+	}
+	if ev.Err != nil {
+		logger.Error("cell", append(args, "err", ev.Err)...)
+		return
+	}
+	logger.Info("cell", args...)
+}
+
+// writeReport aggregates the collected per-cell reports into one
+// SweepReport and writes it to f as indented JSON.
+func (s *sweeper) writeReport(f *os.File, wall time.Duration) error {
+	sr := upmgo.BuildSweepReport(s.reports, 5)
+	sr.WallSeconds = wall.Seconds()
+	blob, err := json.MarshalIndent(sr, "", "  ")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(blob, '\n')); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 // probeDir creates dir if needed and proves it writable with a
@@ -394,20 +493,29 @@ func (s *sweeper) steadySummary() string {
 	return line
 }
 
-// progressLine renders finished cells as one live stderr line. The
-// runner serializes OnEvent calls, so the counter needs no locking.
+// progressLine renders finished cells as one live stderr line, with the
+// batch's elapsed host time and an ETA derived from the completed
+// cells' Host durations (their mean, scaled by the concurrency the
+// batch has actually achieved so far). The runner serializes OnEvent
+// calls, so the counters need no locking.
 func (s *sweeper) progressLine(ev upmgo.SweepEvent) {
+	if s.batchStart.IsZero() {
+		s.batchStart = time.Now()
+	}
 	if !ev.Done {
 		return
 	}
 	s.done++
+	s.hostSum += ev.Host
 	src := "sim"
 	if ev.CacheHit {
 		src = "hit"
 	}
-	line := fmt.Sprintf("[%d/%d] %s %-12s %8.4fs %s %s",
+	elapsed := time.Since(s.batchStart)
+	line := fmt.Sprintf("[%d/%d] %s %-12s %8.4fs %s %s | %s eta %s",
 		s.done, ev.Total, ev.Spec.Bench, ev.Spec.Config.Label(),
-		ev.VirtualS, src, ev.Host.Round(time.Millisecond))
+		ev.VirtualS, src, ev.Host.Round(time.Millisecond),
+		elapsed.Round(time.Millisecond), s.eta(elapsed, ev.Total))
 	// Pad AND truncate to one fixed width: a line longer than the pad
 	// width would leave residue from itself on the next, shorter repaint
 	// (the flicker a long label plus a slow host time used to cause).
@@ -418,8 +526,26 @@ func (s *sweeper) progressLine(ev upmgo.SweepEvent) {
 	if s.done == ev.Total {
 		// Batch complete: clear the line so the next figure starts clean.
 		s.done = 0
+		s.hostSum = 0
+		s.batchStart = time.Time{}
 		fmt.Fprintf(s.errw, "\r%*s\r", progressWidth, "")
 	}
+}
+
+// eta projects the batch's remaining wall time: mean Host per finished
+// cell times the cells left, divided by the observed concurrency
+// (total Host time delivered per unit of wall time, floored at 1 so a
+// cache-hot batch never divides by ~0).
+func (s *sweeper) eta(elapsed time.Duration, total int) time.Duration {
+	if s.done == 0 || elapsed <= 0 {
+		return 0
+	}
+	mean := float64(s.hostSum) / float64(s.done)
+	conc := float64(s.hostSum) / float64(elapsed)
+	if conc < 1 {
+		conc = 1
+	}
+	return time.Duration(float64(total-s.done) * mean / conc).Round(time.Millisecond)
 }
 
 // progressWidth is the fixed repaint width of the live progress line:

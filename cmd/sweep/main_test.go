@@ -291,6 +291,9 @@ func TestRunMetricsAddr(t *testing.T) {
 		`upmgo_sweep_cells_done{result="simulated"} 8`,
 		"upmgo_page_residency{cell=",
 		`upmgo_refs{cell=`,
+		"upmgo_build_info{",
+		"# TYPE upmgo_sweep_cell_host_seconds histogram",
+		"upmgo_sweep_cell_host_seconds_count{",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("scrape lacks %q:\n%s", want, body)

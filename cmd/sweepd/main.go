@@ -35,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -73,6 +74,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	jobs := fs.Int("jobs", 0, "concurrent cell simulations per job (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 16, "maximum queued jobs before POST /v1/jobs answers 503")
 	drain := fs.Duration("drain", time.Minute, "graceful-shutdown grace period for the running job")
+	logFormat := fs.String("log", "text", "structured log format: text or json (slog to stderr)")
 	scan := fs.Bool("scan", false, "offline admin: list every record in -store and exit")
 	check := fs.Bool("check", false, "offline admin: verify every record in -store and exit (non-zero on corruption)")
 	gc := fs.Int64("gc", -1, "offline admin: drop corrupt/stale records, evict oldest intact ones down to this byte budget (0 = no size cap), and exit")
@@ -82,6 +84,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if fs.NArg() > 0 {
 		fs.Usage()
 		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+
+	logger, err := newLogger(*logFormat, stderr)
+	if err != nil {
+		return err
 	}
 
 	admin := *scan || *check || *gc >= 0
@@ -103,7 +110,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *queue < 1 {
 		return errors.New("-queue must be at least 1")
 	}
-	s := newServer(*jobs, *queue, st)
+	s := newServer(*jobs, *queue, st, logger)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -116,7 +123,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	fmt.Fprintf(stderr, "sweepd: serving /v1/jobs, /v1/cells and /metrics on http://%s/\n", ln.Addr())
+	logger.Info("serving", "addr", ln.Addr().String(),
+		"endpoints", "/v1/jobs /v1/jobs/{id}/events /v1/cells /metrics")
 	serving(ln.Addr().String())
 
 	select {
@@ -128,7 +136,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 
 	// Drain: stop accepting, let in-flight HTTP exchanges and the running
 	// job finish (still-queued jobs fail fast), then exit.
-	fmt.Fprintf(stderr, "sweepd: draining (running job finishes, queued jobs fail; grace %s)\n", *drain)
+	logger.Info("draining", "grace", *drain)
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	shutdownErr := srv.Shutdown(dctx)
@@ -138,8 +146,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	case <-dctx.Done():
 		return fmt.Errorf("drain: running job did not finish within %s", *drain)
 	}
-	fmt.Fprintln(stderr, "sweepd: drained")
+	logger.Info("drained")
 	return shutdownErr
+}
+
+// newLogger builds the process logger: slog to w in the chosen format.
+// The "drained" message sweepd_smoke.sh greps for appears as msg=drained
+// (text) or "msg":"drained" (json) — greppable either way.
+func newLogger(format string, w io.Writer) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	default:
+		return nil, fmt.Errorf("-log: unknown format %q (want text or json)", format)
+	}
 }
 
 // runAdmin performs one offline store maintenance pass.

@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
+	"time"
 
 	"upmgo"
 )
@@ -44,6 +47,13 @@ type job struct {
 	CellsDone int                `json:"cells_done"`
 	Error     string             `json:"error,omitempty"`
 	Result    *upmgo.SweepResult `json:"result,omitempty"`
+
+	// Host-side telemetry, invisible to the status JSON: the lifecycle
+	// event log behind GET /v1/jobs/{id}/events, and the timestamps the
+	// queue-wait and run-time histograms are computed from.
+	events   []jobEvent
+	accepted time.Time
+	started  time.Time
 }
 
 // server is the job API: a bounded queue feeding one worker goroutine
@@ -57,31 +67,47 @@ type server struct {
 	reg      *upmgo.MetricsRegistry
 
 	mu     sync.Mutex
+	cond   *sync.Cond // on mu; broadcast on every appended job event
 	jobs   map[string]*job
 	order  []string // submission order, for GET /v1/jobs
 	nextID int
+
+	log *slog.Logger
 
 	queue chan *job
 	done  chan struct{} // closed when the worker exits (drain complete)
 }
 
-func newServer(jobsWide, queueCap int, st *upmgo.ResultStore) *server {
+func newServer(jobsWide, queueCap int, st *upmgo.ResultStore, logger *slog.Logger) *server {
 	cache := upmgo.NewSweepCache()
 	if st != nil {
 		cache.SetStore(st)
 	}
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	reg := upmgo.NewMetricsRegistry()
 	upmgo.DescribeSweepGauges(reg)
+	upmgo.PublishBuildInfo(reg)
 	reg.Describe("upmgo_sweepd_jobs", "gauge", "Jobs by lifecycle state.")
-	return &server{
+	reg.DescribeHistogram(upmgo.MetricJobQueueSeconds,
+		"Seconds jobs spent queued (accepted to started).", nil)
+	reg.DescribeHistogram(upmgo.MetricJobRunSeconds,
+		"Seconds jobs spent running (started to terminal state).", nil)
+	reg.DescribeHistogram(upmgo.MetricHTTPSeconds,
+		"HTTP request latency by endpoint pattern and status code.", nil)
+	s := &server{
 		jobsWide: jobsWide,
 		cache:    cache,
 		store:    st,
 		reg:      reg,
+		log:      logger,
 		jobs:     map[string]*job{},
 		queue:    make(chan *job, queueCap),
 		done:     make(chan struct{}),
 	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
 }
 
 // handler builds the versioned API mux. The metrics endpoint (plus
@@ -94,8 +120,51 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/cells/{address}", s.handleCell)
-	return mux
+	return s.withTelemetry(mux)
+}
+
+// statusWriter captures the response code for the latency histogram and
+// the request log. It forwards Flush so the NDJSON event stream keeps
+// its live-tail behaviour through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withTelemetry wraps the mux with per-request latency observation and
+// structured request logging. The endpoint label is the mux's matched
+// pattern ("GET /v1/jobs/{id}"), so path parameters never explode the
+// label space; unmatched paths share the fallback's pattern.
+func (s *server) withTelemetry(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h.ServeHTTP(sw, r)
+		elapsed := time.Since(t0)
+		pattern := r.Pattern
+		if pattern == "" {
+			pattern = "unmatched"
+		}
+		s.reg.Observe(upmgo.MetricHTTPSeconds,
+			upmgo.MetricsLabels{"endpoint": pattern, "code": strconv.Itoa(sw.code)},
+			elapsed.Seconds())
+		s.log.Info("request",
+			"method", r.Method, "path", r.URL.Path, "endpoint", pattern,
+			"code", sw.code, "elapsed", elapsed)
+	})
 }
 
 // httpError writes a JSON error body with the status the error maps to:
@@ -145,10 +214,11 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.nextID++
 	j := &job{
-		ID:      fmt.Sprintf("job-%d", s.nextID),
-		State:   jobQueued,
-		Request: req,
-		Cells:   cells,
+		ID:       fmt.Sprintf("job-%d", s.nextID),
+		State:    jobQueued,
+		Request:  req,
+		Cells:    cells,
+		accepted: time.Now(),
 	}
 	select {
 	case s.queue <- j:
@@ -161,9 +231,11 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
+	s.appendEvent(j, jobEvent{Type: "job_queued", Total: len(cells)})
 	snap := *j
 	s.publishJobGauges()
 	s.mu.Unlock()
+	s.log.Info("job queued", "job", j.ID, "kind", req.Kind.String(), "cells", len(cells))
 
 	w.Header().Set("Location", "/v1/jobs/"+snap.ID)
 	writeJSON(w, http.StatusAccepted, snap)
@@ -259,8 +331,10 @@ func (s *server) fail(j *job, err error) {
 	s.mu.Lock()
 	j.State = jobFailed
 	j.Error = err.Error()
+	s.appendEvent(j, jobEvent{Type: "job_failed", CellsDone: j.CellsDone, Error: j.Error})
 	s.publishJobGauges()
 	s.mu.Unlock()
+	s.log.Warn("job failed", "job", j.ID, "error", err)
 }
 
 // runJob executes one sweep on the shared cache/store, streaming
@@ -268,19 +342,25 @@ func (s *server) fail(j *job, err error) {
 func (s *server) runJob(ctx context.Context, j *job) {
 	s.mu.Lock()
 	j.State = jobRunning
+	j.started = time.Now()
+	queueWait := j.started.Sub(j.accepted)
+	s.appendEvent(j, jobEvent{Type: "job_started", Total: len(j.Cells)})
 	s.publishJobGauges()
 	s.mu.Unlock()
+	s.reg.Observe(upmgo.MetricJobQueueSeconds, nil, queueWait.Seconds())
+	s.log.Info("job started", "job", j.ID, "queue_wait", queueWait)
 
 	r := upmgo.SweepRunner{
 		Jobs:  s.jobsWide,
 		Cache: s.cache,
 		OnEvent: func(ev upmgo.SweepEvent) {
 			upmgo.PublishSweepEvent(s.reg, s.cache, ev)
+			s.mu.Lock()
 			if ev.Done {
-				s.mu.Lock()
 				j.CellsDone++
-				s.mu.Unlock()
 			}
+			s.appendEvent(j, cellEvent(j, ev))
+			s.mu.Unlock()
 		},
 	}
 	res, err := r.Sweep(ctx, j.Request)
@@ -289,12 +369,24 @@ func (s *server) runJob(ctx context.Context, j *job) {
 	if err != nil {
 		j.State = jobFailed
 		j.Error = err.Error()
+		s.appendEvent(j, jobEvent{Type: "job_failed", CellsDone: j.CellsDone, Error: j.Error})
 	} else {
 		j.State = jobDone
 		j.Result = &res
+		s.appendEvent(j, jobEvent{Type: "job_done", CellsDone: j.CellsDone, Total: len(j.Cells)})
 	}
+	state := j.State
+	cellsDone := j.CellsDone
+	elapsed := time.Since(j.started)
 	s.publishJobGauges()
 	s.mu.Unlock()
+	s.reg.Observe(upmgo.MetricJobRunSeconds,
+		upmgo.MetricsLabels{"state": string(state)}, elapsed.Seconds())
+	if err != nil {
+		s.log.Warn("job failed", "job", j.ID, "elapsed", elapsed, "error", err)
+	} else {
+		s.log.Info("job done", "job", j.ID, "elapsed", elapsed, "cells", cellsDone)
+	}
 }
 
 // publishJobGauges re-derives the per-state job counts. Called under

@@ -33,7 +33,7 @@ func startServer(t *testing.T) (*server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(2, 4, st)
+	s := newServer(2, 4, st, nil)
 	ctx, cancel := context.WithCancel(context.Background())
 	go s.work(ctx)
 	ts := httptest.NewServer(s.handler())
@@ -223,7 +223,7 @@ func TestBadRequests(t *testing.T) {
 // (queueCap+1)-th submission is rejected with 503 and does not appear in
 // the job list.
 func TestQueueFullAnswers503(t *testing.T) {
-	s := newServer(1, 2, nil) // worker never started
+	s := newServer(1, 2, nil, nil) // worker never started
 	ts := httptest.NewServer(s.handler())
 	defer ts.Close()
 	blob, _ := json.Marshal(testRequest)
@@ -255,7 +255,7 @@ func TestQueueFullAnswers503(t *testing.T) {
 // TestDrainFailsQueuedJobs: cancelling the worker context fails
 // still-queued jobs fast and closes the drain barrier.
 func TestDrainFailsQueuedJobs(t *testing.T) {
-	s := newServer(1, 4, nil)
+	s := newServer(1, 4, nil, nil)
 	ts := httptest.NewServer(s.handler())
 	defer ts.Close()
 	blob, _ := json.Marshal(testRequest)
@@ -330,7 +330,7 @@ func TestCellsSharedWithCLIStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(1, 1, reader) // no worker: serving is read-only
+	s := newServer(1, 1, reader, nil) // no worker: serving is read-only
 	ts := httptest.NewServer(s.handler())
 	defer ts.Close()
 	resp, err := http.Get(fmt.Sprintf("%s/v1/cells/%s", ts.URL, upmgo.StoreAddress(key)))

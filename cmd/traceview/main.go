@@ -18,9 +18,18 @@
 //
 //	traceview heatmap -in out/bt-wc-upmlib-classS.metrics.json
 //	traceview heatmap -in cell.metrics.json -iter 3 -width 64
+//
+// The report subcommand pretty-prints the host-side sweep report that
+// `sweep -report file.json` writes: cells by fast-path kind, the host
+// wall-time split by stage with its attribution ratio, the slowest
+// cells, and the why-not histogram of cells that declined to
+// fast-forward:
+//
+//	traceview report -in report.json
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -44,6 +53,9 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	if len(args) > 0 && args[0] == "heatmap" {
 		return runHeatmap(args[1:], stdout, stderr)
+	}
+	if len(args) > 0 && args[0] == "report" {
+		return runReport(args[1:], stdout, stderr)
 	}
 	fs := flag.NewFlagSet("traceview", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -125,6 +137,118 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "traceview: wrote %s (%d events)\n", *chrome, len(events))
 	}
 	return nil
+}
+
+// runReport renders a `sweep -report` file as text tables.
+func runReport(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("traceview report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "sweep report to render (a JSON file from `sweep -report`)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	if *in == "" {
+		fs.Usage()
+		return errors.New("report: -in is required")
+	}
+	blob, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	var sr upmgo.SweepReport
+	if err := json.Unmarshal(blob, &sr); err != nil {
+		return fmt.Errorf("%s is not a sweep report: %w", *in, err)
+	}
+	if sr.Cells == 0 {
+		return fmt.Errorf("%s reports no cells — produce one with `sweep ... -report %s`", *in, *in)
+	}
+	writeReport(stdout, sr)
+	return nil
+}
+
+// writeReport prints one SweepReport: the headline, cells by fast-path
+// kind (cheapest first), host time by stage with the attribution ratio
+// the telemetry layer promises (≥90% on real sweeps), the slowest
+// cells, and the why-not histogram naming each refusing cell.
+func writeReport(w io.Writer, sr upmgo.SweepReport) {
+	fmt.Fprintf(w, "sweep report: %d cell runs, %.3fs host time", sr.Cells, sr.HostSeconds)
+	if sr.WallSeconds > 0 {
+		fmt.Fprintf(w, " over %.3fs wall (%.1fx parallel)", sr.WallSeconds, sr.HostSeconds/sr.WallSeconds)
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "\nCells by fast path (cheapest first):")
+	var maxKind int
+	for _, k := range upmgo.FastPathKinds {
+		if n := sr.ByKind[k]; n > maxKind {
+			maxKind = n
+		}
+	}
+	for _, k := range upmgo.FastPathKinds {
+		n := sr.ByKind[k]
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-16s %5d  %s\n", k, n, strings.Repeat("#", bar(float64(n), float64(maxKind))))
+	}
+
+	fmt.Fprintf(w, "\nHost time by stage (%.1f%% of host time attributed):\n", 100*sr.Attributed())
+	var maxStage float64
+	sr.Stages.Each(func(name string, sec float64) {
+		if sec > maxStage {
+			maxStage = sec
+		}
+	})
+	sr.Stages.Each(func(name string, sec float64) {
+		if sec <= 0 {
+			return
+		}
+		fmt.Fprintf(w, "  %-16s %10.4fs %5.1f%%  %s\n", name, sec,
+			100*sec/sr.HostSeconds, strings.Repeat("#", bar(sec, maxStage)))
+	})
+	if resid := sr.HostSeconds - sr.Stages.Sum(); resid > 0 {
+		fmt.Fprintf(w, "  %-16s %10.4fs %5.1f%%\n", "(unattributed)", resid, 100*resid/sr.HostSeconds)
+	}
+
+	if len(sr.Slowest) > 0 {
+		fmt.Fprintln(w, "\nSlowest cells:")
+		for i, c := range sr.Slowest {
+			fmt.Fprintf(w, "  %d. %-3s %-14s class%-2s %-15s %9.4fs host (%8.4fs virtual, %s)\n",
+				i+1, c.Bench, c.Label, c.Class, c.Kind, c.HostSeconds, c.VirtualSeconds, c.Source)
+		}
+	}
+
+	if len(sr.WhyNot) > 0 {
+		fmt.Fprintln(w, "\nWhy the fast path declined:")
+		for _, wn := range sr.WhyNot {
+			fmt.Fprintf(w, "  %-24s %5d  %s\n", wn.Reason, wn.Count, joinCells(wn.Cells, 6))
+		}
+	}
+}
+
+// bar scales v against max to a 40-column hash bar (at least one column
+// for any non-zero value, like the figure renderers).
+func bar(v, max float64) int {
+	if v <= 0 || max <= 0 {
+		return 0
+	}
+	n := int(40*v/max + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// joinCells renders a why-not bucket's cell names, elided past limit.
+func joinCells(cells []string, limit int) string {
+	if len(cells) <= limit {
+		return strings.Join(cells, ", ")
+	}
+	return fmt.Sprintf("%s, +%d more", strings.Join(cells[:limit], ", "), len(cells)-limit)
 }
 
 // heatRamp maps a bucket's share of the hottest bucket to a character,

@@ -143,6 +143,108 @@ func TestRunHeatmapErrors(t *testing.T) {
 	}
 }
 
+// writeReportFile aggregates three synthetic cell runs the way
+// `sweep -report` does and drops the JSON: one full simulation that
+// refused to fast-forward (the incompressible kmig shape), one recalled
+// cell, one extrapolated cell. The stage numbers are chosen so exactly
+// 95% of the host time is attributed.
+func writeReportFile(t *testing.T) string {
+	t.Helper()
+	reps := []*upmgo.CellReport{
+		{Bench: "BT", Label: "ft-IRIXmig", Class: "W", Source: upmgo.CellSourceSimulated,
+			Kind: upmgo.FastPathFullSim, HostSeconds: 2.5, VirtualSeconds: 30,
+			Stages: upmgo.CellStageSeconds{TimedLoop: 2.4},
+			FastPath: upmgo.NASFastPath{WhyNot: &upmgo.NASWhyNot{
+				Reason: upmgo.WhyNotHomesMoving, HomeMoves: 7, Observed: 40}}},
+		{Bench: "CG", Label: "ft", Class: "W", Source: upmgo.CellSourceStore,
+			Kind: upmgo.FastPathRecalled, HostSeconds: 1.0, VirtualSeconds: 12,
+			Stages: upmgo.CellStageSeconds{StoreProbe: 0.05, Recall: 0.9}},
+		{Bench: "SP", Label: "rr", Class: "W", Source: upmgo.CellSourceSimulated,
+			Kind: upmgo.FastPathSteadyP1, HostSeconds: 0.5, VirtualSeconds: 20,
+			Stages: upmgo.CellStageSeconds{TimedLoop: 0.3, Extrapolate: 0.15}},
+	}
+	sr := upmgo.BuildSweepReport(reps, 5)
+	sr.WallSeconds = 2.0
+	blob, err := json.Marshal(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunReport renders a sweep report and checks every section: the
+// headline with the parallelism ratio, the fast-path kind counts in
+// cheapest-first order, the stage breakdown with its attribution ratio,
+// the slowest-cell ranking, and the why-not histogram naming the
+// refusing cell.
+func TestRunReport(t *testing.T) {
+	path := writeReportFile(t)
+	var out, errw bytes.Buffer
+	if err := run([]string{"report", "-in", path}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"sweep report: 3 cell runs, 4.000s host time over 2.000s wall (2.0x parallel)",
+		"Cells by fast path",
+		"recalled",
+		"steady_period_1",
+		"full_sim",
+		"95.0% of host time attributed",
+		"timed_loop",
+		"store_probe",
+		"(unattributed)",
+		"Slowest cells:",
+		"1. BT  ft-IRIXmig",
+		"Why the fast path declined:",
+		"homes_moving",
+		"BT ft-IRIXmig classW",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report lacks %q:\n%s", want, text)
+		}
+	}
+	// Kind order: recalled (cheapest) must render before full_sim.
+	if strings.Index(text, "recalled") > strings.Index(text, "full_sim") {
+		t.Error("fast-path kinds are not cheapest-first")
+	}
+	// The slowest list is host-time descending.
+	if strings.Index(text, "1. BT") > strings.Index(text, "2. CG") {
+		t.Error("slowest cells are not ranked by host time")
+	}
+}
+
+// TestRunReportErrors: bad invocations fail loudly.
+func TestRunReportErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"report"}, // -in required
+		{"report", "-in", "/does/not/exist.json"},
+		{"report", "-in", bad},
+		{"report", "-in", empty}, // no cells
+		{"report", "-in", bad, "stray"},
+		{"report", "-nope"},
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if err := run(args, &out, &errw); err == nil {
+			t.Errorf("run(%v) succeeded, want an error", args)
+		}
+	}
+}
+
 func TestRunChromeDump(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bt.trace.json")
 	var out, errw bytes.Buffer

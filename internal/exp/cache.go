@@ -5,6 +5,7 @@ import (
 	"errors"
 	"strings"
 	"sync"
+	"time"
 
 	"upmgo/internal/nas"
 	"upmgo/internal/store"
@@ -58,6 +59,24 @@ type inflightCell struct {
 	cell Cell
 	err  error
 }
+
+// cellMeta, when passed to cell, receives the serving path's provenance:
+// which level satisfied the request and how long the on-disk store probe
+// took. Telemetry only — cell's behaviour is identical with a nil meta.
+type cellMeta struct {
+	// source is one of SourceMemory (RAM or a successful in-flight
+	// join), SourceStore (recalled from disk) or SourceSimulated.
+	source string
+	// storeProbe is the host time spent in store.Get, hit or miss.
+	storeProbe time.Duration
+}
+
+// Cell provenance values, shared with exp.CellReport.
+const (
+	SourceMemory    = "memory"
+	SourceStore     = "store"
+	SourceSimulated = "simulated"
+)
 
 type inflightPrefix struct {
 	done chan struct{}
@@ -145,12 +164,15 @@ func (c *Cache) Len() int {
 // after: the RAM fill and waiter release happen first, so no other cell
 // ever waits on disk I/O. A corrupt record is counted, skipped and
 // repaired by the post-simulation write.
-func (c *Cache) cell(ctx context.Context, key string, fn func() (Cell, error)) (Cell, bool, error) {
+func (c *Cache) cell(ctx context.Context, key string, fn func() (Cell, error), meta *cellMeta) (Cell, bool, error) {
 	for {
 		c.mu.Lock()
 		if cell, ok := c.cells[key]; ok {
 			c.hits++
 			c.mu.Unlock()
+			if meta != nil {
+				meta.source = SourceMemory
+			}
 			return cell, true, nil
 		}
 		if f, ok := c.inflight[key]; ok {
@@ -164,6 +186,12 @@ func (c *Cache) cell(ctx context.Context, key string, fn func() (Cell, error)) (
 				c.mu.Lock()
 				c.hits++
 				c.mu.Unlock()
+				if meta != nil {
+					// A successful in-flight join is a RAM recall from
+					// the waiter's point of view: another worker in this
+					// process did the simulating.
+					meta.source = SourceMemory
+				}
 				return f.cell, true, nil
 			}
 			if err := ctx.Err(); err != nil {
@@ -187,7 +215,15 @@ func (c *Cache) cell(ctx context.Context, key string, fn func() (Cell, error)) (
 		// key coalesce onto one read exactly as they would onto one
 		// simulation.
 		if st != nil {
-			if res, err := st.Get(key); err == nil {
+			var t0 time.Time
+			if meta != nil {
+				t0 = time.Now()
+			}
+			res, err := st.Get(key)
+			if meta != nil {
+				meta.storeProbe += time.Since(t0)
+			}
+			if err == nil {
 				bench, _, _ := strings.Cut(key, "\x00")
 				f.cell = Cell{Bench: bench, Label: res.Label, Result: res}
 				c.mu.Lock()
@@ -196,6 +232,9 @@ func (c *Cache) cell(ctx context.Context, key string, fn func() (Cell, error)) (
 				delete(c.inflight, key)
 				c.mu.Unlock()
 				close(f.done)
+				if meta != nil {
+					meta.source = SourceStore
+				}
 				return f.cell, true, nil
 			} else if !errors.Is(err, store.ErrNotFound) {
 				c.noteStoreErr(err)
@@ -205,6 +244,9 @@ func (c *Cache) cell(ctx context.Context, key string, fn func() (Cell, error)) (
 		c.mu.Lock()
 		c.misses++
 		c.mu.Unlock()
+		if meta != nil {
+			meta.source = SourceSimulated
+		}
 
 		f.cell, f.err = fn()
 

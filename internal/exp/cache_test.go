@@ -37,7 +37,7 @@ func TestCacheWaiterRetriesAfterLeaderFailure(t *testing.T) {
 			close(leaderStarted)
 			<-releaseLeader
 			return Cell{}, errAborted
-		})
+		}, nil)
 		if !errors.Is(err, errAborted) {
 			t.Errorf("leader returned %v, want its own error", err)
 		}
@@ -52,7 +52,7 @@ func TestCacheWaiterRetriesAfterLeaderFailure(t *testing.T) {
 		defer close(waiterDone)
 		got, hit, werr = c.cell(context.Background(), "k", func() (Cell, error) {
 			return Cell{Bench: "BT"}, nil
-		})
+		}, nil)
 	}()
 	// Give the waiter time to join the doomed flight; if it has not
 	// joined yet it simply becomes the leader after the failure, which
@@ -71,7 +71,7 @@ func TestCacheWaiterRetriesAfterLeaderFailure(t *testing.T) {
 	if hit {
 		t.Error("waiter's retry ran its own simulation; served=true misreports it")
 	}
-	if _, served, err := c.cell(context.Background(), "k", nil); err != nil || !served {
+	if _, served, err := c.cell(context.Background(), "k", nil, nil); err != nil || !served {
 		t.Errorf("retried cell not cached: served=%v err=%v", served, err)
 	}
 }
@@ -88,12 +88,12 @@ func TestCacheWaiterHonoursOwnCancellation(t *testing.T) {
 		close(leaderStarted)
 		<-releaseLeader
 		return Cell{Bench: "BT"}, nil
-	})
+	}, nil)
 	<-leaderStarted
 
 	ctx, cancel := context.WithCancel(context.Background())
 	go cancel()
-	if _, _, err := c.cell(ctx, "k", nil); !errors.Is(err, context.Canceled) {
+	if _, _, err := c.cell(ctx, "k", nil, nil); !errors.Is(err, context.Canceled) {
 		t.Errorf("cancelled waiter returned %v, want context.Canceled", err)
 	}
 }
@@ -105,7 +105,7 @@ func TestCacheCancelledCallerNeverSimulates(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	ran := false
-	_, _, err := c.cell(ctx, "k", func() (Cell, error) { ran = true; return Cell{}, nil })
+	_, _, err := c.cell(ctx, "k", func() (Cell, error) { ran = true; return Cell{}, nil }, nil)
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("got %v, want context.Canceled", err)
 	}

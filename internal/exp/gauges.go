@@ -13,6 +13,7 @@ func DescribeSweepGauges(reg *metrics.Registry) {
 	reg.Describe("upmgo_sweep_prefix_snapshots", "gauge", "Distinct cold-start prefixes simulated and snapshotted.")
 	reg.Describe("upmgo_sweep_cells_disk_hits", "gauge", "Cells recalled from the on-disk result store instead of simulating.")
 	reg.Describe("upmgo_sweep_cells_stored", "gauge", "Cells persisted to the on-disk result store.")
+	metrics.DescribeCellSeconds(reg)
 }
 
 // PublishSweepEvent keeps the sweep gauges current from a Runner's
@@ -30,6 +31,9 @@ func PublishSweepEvent(reg *metrics.Registry, cache *Cache, ev Event) {
 		result = "recalled"
 	}
 	reg.Add("upmgo_sweep_cells_done", metrics.Labels{"result": result}, 1)
+	if rep := ev.Report; rep != nil {
+		metrics.ObserveCellSeconds(reg, rep.Bench, rep.Label, rep.HostSeconds)
+	}
 	st := cache.Stats()
 	reg.Set("upmgo_sweep_cells_forked", nil, float64(st.Forked))
 	reg.Set("upmgo_sweep_prefix_snapshots", nil, float64(st.Prefixes))

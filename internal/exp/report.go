@@ -1,0 +1,268 @@
+package exp
+
+import (
+	"sort"
+	"time"
+
+	"upmgo/internal/nas"
+)
+
+// FastPathKind classifies how a cell's answer was obtained, from
+// cheapest to most expensive. The classification is strictly ordered:
+// a recalled cell is "recalled" even if the process that originally
+// simulated it extrapolated, and a campaign-drained cell that also
+// extrapolated its tail counts as "campaign_ff" (the drain covers the
+// larger share of skipped iterations).
+type FastPathKind string
+
+const (
+	// FastPathRecalled: served from the RAM cache, an in-flight
+	// duplicate, or the on-disk store — no simulation at all.
+	FastPathRecalled FastPathKind = "recalled"
+	// FastPathCampaign: a converging kernel-migration campaign was
+	// drained analytically.
+	FastPathCampaign FastPathKind = "campaign_ff"
+	// FastPathSteadyPK: a period-k (k ≥ 2) orbit was proven and the
+	// tail extrapolated.
+	FastPathSteadyPK FastPathKind = "steady_period_k"
+	// FastPathSteadyP1: a period-one steady state was proven and the
+	// tail extrapolated.
+	FastPathSteadyP1 FastPathKind = "steady_period_1"
+	// FastPathFullSim: every iteration was simulated.
+	FastPathFullSim FastPathKind = "full_sim"
+)
+
+// FastPathKinds is the presentation order of the kinds (cheapest first),
+// shared with cmd/traceview's report renderer.
+var FastPathKinds = []FastPathKind{
+	FastPathRecalled, FastPathCampaign, FastPathSteadyPK, FastPathSteadyP1, FastPathFullSim,
+}
+
+// StageSeconds is a cell's (or a sweep's) host wall-time split by stage,
+// in seconds. The named stages are nas.HostStages' plus two that only
+// exist at the sweep layer: StoreProbe (the on-disk store lookup,
+// charged by exp.Cache) and Recall (everything a recalled cell spent
+// that was not the store probe — map lookups, waiting on an in-flight
+// duplicate's simulation). The residual Host − Sum() is scheduling
+// noise: goroutine wakeups, channel sends, the event callback.
+type StageSeconds struct {
+	StoreProbe  float64 `json:"store_probe,omitempty"`
+	Recall      float64 `json:"recall,omitempty"`
+	Prefix      float64 `json:"prefix,omitempty"`
+	Fork        float64 `json:"fork,omitempty"`
+	TimedLoop   float64 `json:"timed_loop,omitempty"`
+	Extrapolate float64 `json:"extrapolate,omitempty"`
+	FreeRunTail float64 `json:"free_run_tail,omitempty"`
+	Verify      float64 `json:"verify,omitempty"`
+}
+
+// Sum returns the total seconds attributed to named stages.
+func (s StageSeconds) Sum() float64 {
+	return s.StoreProbe + s.Recall + s.Prefix + s.Fork +
+		s.TimedLoop + s.Extrapolate + s.FreeRunTail + s.Verify
+}
+
+// add accumulates o into s.
+func (s *StageSeconds) add(o StageSeconds) {
+	s.StoreProbe += o.StoreProbe
+	s.Recall += o.Recall
+	s.Prefix += o.Prefix
+	s.Fork += o.Fork
+	s.TimedLoop += o.TimedLoop
+	s.Extrapolate += o.Extrapolate
+	s.FreeRunTail += o.FreeRunTail
+	s.Verify += o.Verify
+}
+
+// stageNames pairs each stage with its value in presentation order,
+// shared by cmd/traceview's renderer.
+func (s StageSeconds) Each(f func(name string, seconds float64)) {
+	f("store_probe", s.StoreProbe)
+	f("recall", s.Recall)
+	f("prefix", s.Prefix)
+	f("fork", s.Fork)
+	f("timed_loop", s.TimedLoop)
+	f("extrapolate", s.Extrapolate)
+	f("free_run_tail", s.FreeRunTail)
+	f("verify", s.Verify)
+}
+
+// CellReport is one cell's host-side telemetry: where its answer came
+// from, which fast paths engaged (or a typed WhyNot when none did), and
+// where its host wall-time went. Telemetry only — it carries no virtual
+// quantity that is not already in the Cell, and producing it never
+// perturbs the simulation (see nas.HostStages).
+type CellReport struct {
+	Bench string `json:"bench"`
+	Label string `json:"label"`
+	Class string `json:"class"`
+	// Source is SourceMemory, SourceStore or SourceSimulated.
+	Source string       `json:"source"`
+	Kind   FastPathKind `json:"kind"`
+	// HostSeconds is the cell's total host wall-time as seen by the
+	// worker that ran (or waited for) it; Stages attributes it.
+	HostSeconds    float64      `json:"host_seconds"`
+	VirtualSeconds float64      `json:"virtual_seconds"`
+	Stages         StageSeconds `json:"stages"`
+	FastPath       nas.FastPath `json:"fast_path"`
+}
+
+// newCellReport assembles the per-cell report from the run's host-stage
+// sink and the cache's provenance record. HostSeconds and the Recall
+// pseudo-stage are filled later by setHost, once the worker knows the
+// cell's total wall-time.
+func newCellReport(spec CellSpec, c Cell, meta *cellMeta, hs *nas.HostStages) *CellReport {
+	label := c.Label
+	if label == "" {
+		label = spec.Config.Label()
+	}
+	rep := &CellReport{
+		Bench:          spec.Bench,
+		Label:          label,
+		Class:          spec.Config.Class.String(),
+		Source:         meta.source,
+		VirtualSeconds: c.Seconds(),
+		FastPath:       c.Result.FastPath,
+		Stages: StageSeconds{
+			StoreProbe:  meta.storeProbe.Seconds(),
+			Prefix:      hs.Prefix.Seconds(),
+			Fork:        hs.Fork.Seconds(),
+			TimedLoop:   hs.TimedLoop.Seconds(),
+			Extrapolate: hs.Extrapolate.Seconds(),
+			FreeRunTail: hs.FreeRunTail.Seconds(),
+			Verify:      hs.Verify.Seconds(),
+		},
+	}
+	rep.Kind = classifyFastPath(rep.Source, c.Result)
+	return rep
+}
+
+// setHost records the cell's total host wall-time and derives the
+// Recall pseudo-stage: a recalled cell's time is, by definition,
+// everything it spent that was not the store probe (map lookups,
+// waiting on an in-flight duplicate). This is what keeps the sweep
+// report's attribution near-total for warm sweeps.
+func (cr *CellReport) setHost(d time.Duration) {
+	cr.HostSeconds = d.Seconds()
+	if cr.Source != SourceSimulated {
+		if rec := cr.HostSeconds - cr.Stages.StoreProbe; rec > 0 {
+			cr.Stages.Recall = rec
+		}
+	}
+}
+
+// classifyFastPath folds provenance and the run's fast-path flags into
+// the single strongest kind.
+func classifyFastPath(source string, r nas.Result) FastPathKind {
+	switch {
+	case source != SourceSimulated:
+		return FastPathRecalled
+	case r.CampaignIters > 0:
+		return FastPathCampaign
+	case r.ExtrapolatedIters > 0 && r.SteadyPeriod > 1:
+		return FastPathSteadyPK
+	case r.ExtrapolatedIters > 0:
+		return FastPathSteadyP1
+	default:
+		return FastPathFullSim
+	}
+}
+
+// WhyNotCount is one bucket of a sweep's why-not histogram: how many
+// fully simulated cells declined the fast path for this reason, and
+// which ones (as "BENCH label classC" strings, sorted — completion
+// order is a race under concurrent jobs).
+type WhyNotCount struct {
+	Reason string   `json:"reason"`
+	Count  int      `json:"count"`
+	Cells  []string `json:"cells"`
+}
+
+// SweepReport aggregates a sweep's CellReports: the shape a maintainer
+// reads to answer "where did the host time of this sweep go, and which
+// cells refused to fast-forward". Written by `sweep -report`, rendered
+// by `traceview report`.
+type SweepReport struct {
+	// Cells is the number of cells reported on.
+	Cells int `json:"cells"`
+	// HostSeconds is the sum of per-cell host wall-time. With J parallel
+	// jobs it exceeds the sweep's elapsed time by up to a factor of J.
+	HostSeconds float64 `json:"host_seconds"`
+	// WallSeconds is the sweep's elapsed wall-clock, when the caller
+	// measured it (cmd/sweep does); zero otherwise.
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	// ByKind counts cells by FastPathKind, cheapest kind first.
+	ByKind map[FastPathKind]int `json:"cells_by_kind"`
+	// Stages is the stage-attributed share of HostSeconds, summed over
+	// all cells.
+	Stages StageSeconds `json:"stage_seconds"`
+	// Slowest lists the top-N cells by host time, slowest first.
+	Slowest []CellReport `json:"slowest,omitempty"`
+	// WhyNot is the histogram of typed fast-path refusals, largest
+	// bucket first (ties alphabetical).
+	WhyNot []WhyNotCount `json:"why_not,omitempty"`
+}
+
+// Attributed returns the fraction of HostSeconds the named stages
+// account for, in [0, 1]; 0 when nothing was reported.
+func (sr SweepReport) Attributed() float64 {
+	if sr.HostSeconds <= 0 {
+		return 0
+	}
+	f := sr.Stages.Sum() / sr.HostSeconds
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// BuildSweepReport aggregates reports into a SweepReport, keeping the
+// topN slowest cells (topN <= 0 means 5). Nil entries (cells that never
+// produced a report) are skipped. Ordering is deterministic given the
+// reports: Slowest breaks host-time ties by presentation order, and the
+// why-not histogram breaks count ties alphabetically by reason.
+func BuildSweepReport(reports []*CellReport, topN int) SweepReport {
+	if topN <= 0 {
+		topN = 5
+	}
+	sr := SweepReport{ByKind: map[FastPathKind]int{}}
+	var kept []CellReport
+	whyCells := map[string][]string{}
+	for _, r := range reports {
+		if r == nil {
+			continue
+		}
+		sr.Cells++
+		sr.HostSeconds += r.HostSeconds
+		sr.ByKind[r.Kind]++
+		sr.Stages.add(r.Stages)
+		kept = append(kept, *r)
+		// Only cells simulated by this sweep belong in the histogram: a
+		// recalled cell carries the original run's WhyNot in its FastPath
+		// (RAM recall keeps the whole Result) but declined nothing itself,
+		// and counting it would double every bucket under -all's
+		// overlapping figures.
+		if w := r.FastPath.WhyNot; w != nil && r.Kind != FastPathRecalled {
+			whyCells[string(w.Reason)] = append(whyCells[string(w.Reason)],
+				r.Bench+" "+r.Label+" class"+r.Class)
+		}
+	}
+	sort.SliceStable(kept, func(i, j int) bool {
+		return kept[i].HostSeconds > kept[j].HostSeconds
+	})
+	if len(kept) > topN {
+		kept = kept[:topN]
+	}
+	sr.Slowest = kept
+	for reason, cells := range whyCells {
+		sort.Strings(cells)
+		sr.WhyNot = append(sr.WhyNot, WhyNotCount{Reason: reason, Count: len(cells), Cells: cells})
+	}
+	sort.Slice(sr.WhyNot, func(i, j int) bool {
+		if sr.WhyNot[i].Count != sr.WhyNot[j].Count {
+			return sr.WhyNot[i].Count > sr.WhyNot[j].Count
+		}
+		return sr.WhyNot[i].Reason < sr.WhyNot[j].Reason
+	})
+	return sr
+}

@@ -59,6 +59,10 @@ type Event struct {
 	SteadyPeriod      int
 	ExtrapolatedIters int
 	CampaignIters     int
+	// Report is the cell's full host-side telemetry record (provenance,
+	// fast-path flags and WhyNot, host time by stage). Set on finished
+	// events; never nil there. Aggregate with BuildSweepReport.
+	Report *CellReport
 }
 
 // Runner executes batches of cells on a bounded host worker pool. The
@@ -180,13 +184,17 @@ func (r Runner) Cells(ctx context.Context, specs []CellSpec) ([]Cell, error) {
 				spec := specs[i]
 				emit(Event{Spec: spec, Index: i, Total: len(specs)})
 				start := time.Now()
-				c, hit, err := r.runCell(cctx, spec)
+				c, rep, err := r.runCell(cctx, spec)
+				host := time.Since(start)
+				rep.setHost(host)
 				cells[i], errs[i] = c, err
 				emit(Event{Spec: spec, Index: i, Total: len(specs), Done: true,
-					CacheHit: hit, VirtualS: c.Seconds(), Host: time.Since(start), Err: err,
+					CacheHit: err == nil && rep.Source != SourceSimulated,
+					VirtualS: c.Seconds(), Host: host, Err: err,
 					SteadyAt: c.Result.SteadyAt, SteadyPeriod: c.Result.SteadyPeriod,
 					ExtrapolatedIters: c.Result.ExtrapolatedIters,
-					CampaignIters:     c.Result.CampaignIters})
+					CampaignIters:     c.Result.CampaignIters,
+					Report:            rep})
 				if err != nil {
 					cancel()
 				}
@@ -219,7 +227,16 @@ func (r Runner) Cells(ctx context.Context, specs []CellSpec) ([]Cell, error) {
 // forking the benchmark's shared cold-start prefix (simulated once per
 // prefix fingerprint, held in the Cache) unless NoFork asks for the
 // from-scratch path; either way the Cell is the same.
-func (r Runner) runCell(ctx context.Context, spec CellSpec) (Cell, bool, error) {
+//
+// The returned CellReport (never nil) carries the cell's provenance and
+// host-stage attribution; the caller fills HostSeconds via setHost once
+// it knows the total. The HostStages sink rides on the Config but is
+// observation-only: it is outside the fingerprint, charges no virtual
+// time, and leaves the cell bit-identical to an uninstrumented run.
+func (r Runner) runCell(ctx context.Context, spec CellSpec) (Cell, *CellReport, error) {
+	hs := &nas.HostStages{}
+	meta := &cellMeta{source: SourceSimulated}
+	spec.Config.HostStages = hs
 	if r.Cache != nil {
 		// Share verification outcomes across the batch: placement and
 		// engine variants of one benchmark compute identical numerics, so
@@ -247,7 +264,8 @@ func (r Runner) runCell(ctx context.Context, spec CellSpec) (Cell, bool, error) 
 					sim = func() (Cell, error) { return r.forkCell(ctx, spec, pkey) }
 				}
 			}
-			return r.Cache.cell(ctx, key, sim)
+			c, _, err := r.Cache.cell(ctx, key, sim, meta)
+			return c, newCellReport(spec, c, meta, hs), err
 		}
 	}
 	c, err := run(spec.Bench, spec.Config)
@@ -257,7 +275,7 @@ func (r Runner) runCell(ctx context.Context, spec CellSpec) (Cell, bool, error) 
 	if err == nil && r.MetricsDir != "" {
 		err = r.writeMetrics(spec, spec.Config.Metrics)
 	}
-	return c, false, err
+	return c, newCellReport(spec, c, meta, hs), err
 }
 
 // forkCell simulates spec from the shared prefix snapshot for pkey,
@@ -269,9 +287,25 @@ func (r Runner) forkCell(ctx context.Context, spec CellSpec, pkey string) (Cell,
 	if !ok {
 		return Cell{}, fmt.Errorf("exp: %w: %q", ErrUnknownBenchmark, spec.Bench)
 	}
+	// The prefix snapshot is shared by every cell with the same
+	// fingerprint, so its simulation cost cannot fairly be charged to
+	// whichever cell happened to lead the flight. Each cell instead
+	// charges its own wait for the snapshot — the leader's wait IS the
+	// simulation, a joiner's is shorter — which both attributes the time
+	// and avoids double-counting it inside the timed-loop stage.
+	hs := spec.Config.HostStages
+	pcfg := spec.Config
+	pcfg.HostStages = nil
+	var t0 time.Time
+	if hs != nil {
+		t0 = time.Now()
+	}
 	p, err := r.Cache.prefix(ctx, spec.Bench+"\x00"+pkey, func() (*nas.Prefix, error) {
-		return nas.RunPrefix(b, spec.Config)
+		return nas.RunPrefix(b, pcfg)
 	})
+	if hs != nil {
+		hs.Prefix += time.Since(t0)
+	}
 	if err != nil {
 		return Cell{}, fmt.Errorf("exp: %s %s: %w", spec.Bench, spec.Config.Label(), err)
 	}

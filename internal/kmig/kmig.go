@@ -150,6 +150,13 @@ func (e *Engine) AppendCounters(dst []int64) []int64 {
 	return append(dst, e.barriers, e.scans, e.migrations, e.rejected, e.costPS, e.lastScan)
 }
 
+// AppendCounterNames appends one name per AppendCounters slot, in the
+// same order, for by-name reporting of delta-vector indices.
+func (e *Engine) AppendCounterNames(dst []string) []string {
+	return append(dst, "kmig_barriers", "kmig_scans", "kmig_migrations",
+		"kmig_rejected", "kmig_cost_ps", "kmig_last_scan")
+}
+
 // ApplyCounterDelta advances the counters by k repetitions of a
 // per-iteration delta (laid out as AppendCounters), extrapolating the
 // work the engine would have done over k more identical iterations.

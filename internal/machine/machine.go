@@ -527,6 +527,21 @@ func (m *Machine) AppendCounters(dst []int64) []int64 {
 // CounterLen returns the length AppendCounters adds to its argument.
 func (m *Machine) CounterLen() int { return len(m.cpus)*countersPerCPU + 4 }
 
+// AppendCounterNames appends one name per AppendCounters slot, in the
+// same order, so index i of a counter delta vector can be reported by
+// name (the steady-state detector's why-not diagnostics do). Names, not
+// values: nothing here reads simulation state.
+func (m *Machine) AppendCounterNames(dst []string) []string {
+	for i := range m.cpus {
+		for _, s := range [...]string{"clock", "accesses", "l1_miss", "l2_miss",
+			"tlb_miss", "local_mem", "remote_mem", "faults",
+			"l1_hits", "l1_misses", "l1_tick", "l2_hits", "l2_misses", "l2_tick"} {
+			dst = append(dst, fmt.Sprintf("cpu%d_%s", i, s))
+		}
+	}
+	return append(dst, "pt_faults", "pt_migrations", "pt_replicas", "pt_collapses")
+}
+
 // CountersPerCPU returns the per-CPU stride of the AppendCounters layout,
 // so consumers that must classify entries structurally (the campaign
 // observer's clock-vs-frozen split) need not hard-code it.

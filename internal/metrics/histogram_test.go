@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHistogramExposition pins the text form: cumulative le buckets with
+// an explicit +Inf, then _sum and _count, deterministically ordered.
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	r.DescribeHistogram("lat_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		r.Observe("lat_seconds", Labels{"ep": "/v1/jobs"}, v)
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP lat_seconds Latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{ep="/v1/jobs",le="0.1"} 2
+lat_seconds_bucket{ep="/v1/jobs",le="1"} 3
+lat_seconds_bucket{ep="/v1/jobs",le="10"} 4
+lat_seconds_bucket{ep="/v1/jobs",le="+Inf"} 5
+lat_seconds_sum{ep="/v1/jobs"} 102.65
+lat_seconds_count{ep="/v1/jobs"} 5
+`
+	if sb.String() != want {
+		t.Errorf("exposition mismatch:\n--- got\n%s--- want\n%s", sb.String(), want)
+	}
+}
+
+// TestHistogramUnlabelled: the unlabelled series renders with only the
+// le label, and an undescribed Observe creates the family with
+// DefBuckets.
+func TestHistogramUnlabelled(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("h", nil, 0.003)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE h histogram",
+		`h_bucket{le="0.005"} 1`,
+		`h_bucket{le="+Inf"} 1`,
+		"h_sum 0.003",
+		"h_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, text)
+		}
+	}
+	if got := strings.Count(text, "h_bucket"); got != len(DefBuckets)+1 {
+		t.Errorf("bucket lines = %d, want %d", got, len(DefBuckets)+1)
+	}
+}
+
+// TestHistogramTypeCollisions: writing a gauge value into a histogram
+// name (or observing into a gauge name) is dropped instead of panicking
+// or corrupting the family.
+func TestHistogramTypeCollisions(t *testing.T) {
+	r := NewRegistry()
+	r.DescribeHistogram("h", "", nil)
+	r.Set("h", nil, 42)
+	r.Add("h", nil, 1)
+	r.Set("g", nil, 7)
+	r.Observe("g", nil, 0.5)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if strings.Contains(text, "h 4") || strings.Contains(text, "h 1") {
+		t.Errorf("gauge write leaked into the histogram family:\n%s", text)
+	}
+	if !strings.Contains(text, "g 7") || strings.Contains(text, "g_bucket") {
+		t.Errorf("observe corrupted the gauge family:\n%s", text)
+	}
+}
+
+// TestPublishBuildInfo: the gauge carries the identity labels with a
+// constant 1 value.
+func TestPublishBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	PublishBuildInfo(r, "upmgo-sim-1", 1)
+	PublishBuildInfo(nil, "upmgo-sim-1", 1) // nil registry is a no-op
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE upmgo_build_info gauge",
+		`code_version="upmgo-sim-1"`,
+		`schema_version="1"`,
+		`go_version="go`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("build info lacks %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, "} 1\n") {
+		t.Errorf("build info gauge is not 1:\n%s", text)
+	}
+}
+
+// TestObserveCellSeconds: the helper lands in the right family/labels.
+func TestObserveCellSeconds(t *testing.T) {
+	r := NewRegistry()
+	DescribeCellSeconds(r)
+	ObserveCellSeconds(r, "BT", "ft-IRIXmig", 0.02)
+	ObserveCellSeconds(nil, "BT", "ft", 1) // nil registry is a no-op
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, CellSecondsName+`_bucket{bench="BT",cell="ft-IRIXmig",le="0.05"} 1`) {
+		t.Errorf("cell histogram missing the observation:\n%s", text)
+	}
+	if !strings.Contains(text, CellSecondsName+`_count{bench="BT",cell="ft-IRIXmig"} 1`) {
+		t.Errorf("cell histogram count wrong:\n%s", text)
+	}
+}

@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"runtime"
+	"strconv"
+)
+
+// Canonical telemetry family names, shared by cmd/sweep and cmd/sweepd
+// so dashboards can join the two endpoints.
+const (
+	// BuildInfoName is the classic build-info gauge: constant 1, with
+	// the interesting facts in the labels.
+	BuildInfoName = "upmgo_build_info"
+	// CellSecondsName is the per-cell host-simulation-seconds histogram,
+	// labelled by benchmark and cell (placement+engine label).
+	CellSecondsName = "upmgo_sweep_cell_host_seconds"
+	// JobQueueSecondsName is sweepd's job queue-wait histogram
+	// (accepted -> started).
+	JobQueueSecondsName = "upmgo_sweepd_job_queue_seconds"
+	// JobRunSecondsName is sweepd's job run-time histogram
+	// (started -> terminal state).
+	JobRunSecondsName = "upmgo_sweepd_job_run_seconds"
+	// HTTPSecondsName is sweepd's per-endpoint request-latency
+	// histogram, labelled by normalized path and method.
+	HTTPSecondsName = "upmgo_sweepd_http_request_seconds"
+)
+
+// CellBuckets spreads from sub-millisecond recalls to multi-minute
+// Class A simulations — DefBuckets tops out at 10s, which a cold
+// Class A cell blows through.
+var CellBuckets = []float64{.0005, .001, .005, .01, .05, .1, .5, 1, 5, 10, 30, 60, 120, 300}
+
+// PublishBuildInfo sets the build-info gauge: value 1, identity in the
+// labels (Go runtime version plus the simulator's code and schema
+// versions, passed in by the caller — the metrics package cannot import
+// internal/store without a cycle).
+func PublishBuildInfo(reg *Registry, codeVersion string, schemaVersion int) {
+	if reg == nil {
+		return
+	}
+	reg.Describe(BuildInfoName, "gauge",
+		"Build identity of this process; value is constant 1.")
+	reg.Set(BuildInfoName, Labels{
+		"go_version":     runtime.Version(),
+		"code_version":   codeVersion,
+		"schema_version": strconv.Itoa(schemaVersion),
+	}, 1)
+}
+
+// DescribeCellSeconds declares the per-cell host-seconds histogram.
+func DescribeCellSeconds(reg *Registry) {
+	reg.DescribeHistogram(CellSecondsName,
+		"Host wall-clock seconds spent obtaining one sweep cell (simulated or recalled).",
+		CellBuckets)
+}
+
+// ObserveCellSeconds records one finished cell's host cost.
+func ObserveCellSeconds(reg *Registry, bench, cell string, seconds float64) {
+	if reg == nil {
+		return
+	}
+	reg.Observe(CellSecondsName, Labels{"bench": bench, "cell": cell}, seconds)
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -46,12 +47,28 @@ func escapeLabel(v string) string {
 	return strings.ReplaceAll(v, "\n", `\n`)
 }
 
-// family is one metric name with its metadata and series.
+// family is one metric name with its metadata and series. Exactly one
+// of vals (gauge/counter) or hist (histogram) is populated.
 type family struct {
-	typ  string // "gauge" or "counter"
-	help string
-	vals map[string]float64 // rendered label set -> value
+	typ     string // "gauge", "counter" or "histogram"
+	help    string
+	vals    map[string]float64 // rendered label set -> value
+	buckets []float64          // histogram upper bounds, ascending, +Inf implicit
+	hist    map[string]*histSeries
 }
+
+// histSeries is one labelled histogram: per-bucket counts (the last
+// slot is the implicit +Inf bucket) plus the running sum and count.
+type histSeries struct {
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+// DefBuckets is the default histogram bucketing (the conventional
+// Prometheus spread), suitable for latencies from milliseconds to
+// seconds.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
 
 // Registry is a hand-rolled Prometheus-style metric registry: labelled
 // gauge/counter families with deterministic text exposition. It exists
@@ -78,18 +95,78 @@ func (r *Registry) Describe(name, typ, help string) {
 	f.typ, f.help = typ, help
 }
 
-// Set stores the value of the series (name, labels).
+// Set stores the value of the series (name, labels). Setting a name
+// already declared as a histogram is ignored.
 func (r *Registry) Set(name string, labels Labels, v float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.family(name).vals[labels.key()] = v
+	if f := r.family(name); f.vals != nil {
+		f.vals[labels.key()] = v
+	}
 }
 
 // Add increments the series (name, labels) by dv, creating it at dv.
+// Adding to a name already declared as a histogram is ignored.
 func (r *Registry) Add(name string, labels Labels, dv float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.family(name).vals[labels.key()] += dv
+	if f := r.family(name); f.vals != nil {
+		f.vals[labels.key()] += dv
+	}
+}
+
+// DescribeHistogram declares a histogram family with the given help
+// text and bucket upper bounds (ascending; the +Inf bucket is implicit
+// and must not be listed). Nil or empty buckets mean DefBuckets.
+// Re-describing an existing histogram updates the help text but keeps
+// the original buckets — observations already made remain countable.
+func (r *Registry) DescribeHistogram(name, help string, buckets []float64) {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{}
+		r.families[name] = f
+	}
+	f.typ, f.help = "histogram", help
+	if f.hist == nil {
+		f.buckets = append([]float64(nil), buckets...)
+		sort.Float64s(f.buckets)
+		f.hist = map[string]*histSeries{}
+	}
+}
+
+// Observe records v into the histogram series (name, labels), creating
+// the family with DefBuckets if it was never described. Observing into
+// a name already used as a gauge or counter is a programming error and
+// is ignored rather than corrupting the family.
+func (r *Registry) Observe(name string, labels Labels, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{typ: "histogram", buckets: append([]float64(nil), DefBuckets...),
+			hist: map[string]*histSeries{}}
+		r.families[name] = f
+	}
+	if f.hist == nil {
+		return
+	}
+	k := labels.key()
+	s := f.hist[k]
+	if s == nil {
+		s = &histSeries{counts: make([]uint64, len(f.buckets)+1)}
+		f.hist[k] = s
+	}
+	// Non-cumulative per-bucket counts; WriteText accumulates them into
+	// the cumulative le-form the exposition format requires.
+	i := sort.SearchFloat64s(f.buckets, v)
+	s.counts[i]++
+	s.sum += v
+	s.count++
 }
 
 // family returns the named family, creating a gauge; caller holds r.mu.
@@ -119,6 +196,25 @@ func (r *Registry) WriteText(w io.Writer) error {
 			fmt.Fprintf(&sb, "# HELP %s %s\n", n, f.help)
 		}
 		fmt.Fprintf(&sb, "# TYPE %s %s\n", n, f.typ)
+		if f.hist != nil {
+			keys := make([]string, 0, len(f.hist))
+			for k := range f.hist {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				s := f.hist[k]
+				var cum uint64
+				for i, b := range f.buckets {
+					cum += s.counts[i]
+					fmt.Fprintf(&sb, "%s_bucket%s %d\n", n, withLE(k, formatBound(b)), cum)
+				}
+				fmt.Fprintf(&sb, "%s_bucket%s %d\n", n, withLE(k, "+Inf"), s.count)
+				fmt.Fprintf(&sb, "%s_sum%s %v\n", n, k, s.sum)
+				fmt.Fprintf(&sb, "%s_count%s %d\n", n, k, s.count)
+			}
+			continue
+		}
 		keys := make([]string, 0, len(f.vals))
 		for k := range f.vals {
 			keys = append(keys, k)
@@ -131,6 +227,24 @@ func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.Unlock()
 	_, err := io.WriteString(w, sb.String())
 	return err
+}
+
+// withLE splices the le="bound" label into a rendered label key,
+// preserving the canonical form ({} wrapping, existing labels first —
+// the exposition format does not require sorted label names, only a
+// deterministic rendering, which appending gives us).
+func withLE(key, bound string) string {
+	le := `le="` + bound + `"`
+	if key == "" {
+		return "{" + le + "}"
+	}
+	return key[:len(key)-1] + "," + le + "}"
+}
+
+// formatBound renders a bucket upper bound the way Prometheus clients
+// do: shortest round-trip decimal.
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
 }
 
 // ServeHTTP serves the registry as a Prometheus scrape target.

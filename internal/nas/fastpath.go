@@ -1,0 +1,172 @@
+package nas
+
+import (
+	"fmt"
+	"time"
+)
+
+// FastPath reports which of the run's host-time accelerations engaged,
+// and — when the steady-state machinery was armed but the tail was still
+// simulated in full — a typed diagnosis of why it declined. It is
+// host-side metadata in the strict PR-3 sense: populated from the same
+// observations the run makes anyway, charging zero virtual time, and
+// excluded from the Result's JSON form so store records and job-API
+// payloads are byte-identical with or without it. The JSON tags below
+// exist for the *telemetry* surfaces (exp.CellReport, the sweepd events
+// stream), which serialise the report deliberately.
+type FastPath struct {
+	// SteadyDetected: the detector proved a periodic orbit
+	// (Result.SteadyAt is the firing iteration).
+	SteadyDetected bool `json:"steady_detected,omitempty"`
+	// Extrapolated: the trailing iterations were fast-forwarded
+	// analytically (Result.ExtrapolatedIters of them).
+	Extrapolated bool `json:"extrapolated,omitempty"`
+	// CampaignFF: a kernel-migration campaign was drained in closed form
+	// (Result.CampaignIters iterations).
+	CampaignFF bool `json:"campaign_ff,omitempty"`
+	// ResidentElide: page-granular charging elision was armed
+	// (Config.ResidentElide). Results are bit-identical either way; the
+	// flag records only where the host time went.
+	ResidentElide bool `json:"resident_elide,omitempty"`
+	// TailCacheHit: the free-run verification tail was skipped because a
+	// numerically identical run had already verified (Config.TailCache).
+	TailCacheHit bool `json:"tail_cache_hit,omitempty"`
+	// WhyNot explains why fast-forwarding declined. Nil when it engaged
+	// (Extrapolated or CampaignFF), or when SteadyState was never armed.
+	WhyNot *WhyNot `json:"why_not,omitempty"`
+}
+
+// WhyNotReason classifies why the steady-state fast-forward declined.
+type WhyNotReason string
+
+const (
+	// WhyNotSampler: a metrics sampler was attached; it must see every
+	// iteration simulated, so the detector never arms.
+	WhyNotSampler WhyNotReason = "sampler_attached"
+	// WhyNotDetectionOnly: the orbit was proven but Config.Extrapolate
+	// was off, so the run kept simulating by request.
+	WhyNotDetectionOnly WhyNotReason = "detection_only"
+	// WhyNotNoTail: the orbit was proven on the final iteration; there
+	// was nothing left to fast-forward.
+	WhyNotNoTail WhyNotReason = "no_tail"
+	// WhyNotLoopTooShort: the timed loop ended before the detector could
+	// have confirmed even a period-one orbit (fewer than window+1
+	// observed iterations).
+	WhyNotLoopTooShort WhyNotReason = "loop_too_short"
+	// WhyNotPerturbed: a scheduler perturbation (Config.PerturbAt) broke
+	// or delayed the orbit and it never re-closed in the iterations that
+	// remained.
+	WhyNotPerturbed WhyNotReason = "perturbed"
+	// WhyNotPeriodBeyondCap: the reference string does repeat, but with a
+	// period above the detector's cap (Config.PeriodK, default 8) — the
+	// adversarial fallback: such runs simulate in full by design.
+	WhyNotPeriodBeyondCap WhyNotReason = "period_beyond_cap"
+	// WhyNotHomesMoving: the page-home map never went stationary — an
+	// ongoing migration campaign the analytic drain could not prove
+	// deterministic (the incompressible kmig cells).
+	WhyNotHomesMoving WhyNotReason = "homes_moving"
+	// WhyNotAperiodic: the counter deltas themselves never repeated; the
+	// reference string is genuinely aperiodic at every period tried.
+	WhyNotAperiodic WhyNotReason = "aperiodic"
+)
+
+// WhyNot is the typed diagnosis behind a declined fast-forward: the
+// reason plus the supporting evidence the detector gathered while
+// failing — the best candidate period and how close it came, the first
+// counter that refused to repeat, and the perturbation or home-map
+// motion that broke the orbit.
+type WhyNot struct {
+	Reason WhyNotReason `json:"reason"`
+	// BestPeriod is the candidate orbit length that came closest to
+	// proving itself; BestStreak is its longest run of successful lag-k
+	// delta comparisons, against the NeededStreak ((window−1)·k) that
+	// would have fired.
+	BestPeriod   int `json:"best_period,omitempty"`
+	BestStreak   int `json:"best_streak,omitempty"`
+	NeededStreak int `json:"needed_streak,omitempty"`
+	// FirstDivergent names the first counter whose delta broke the best
+	// candidate's most recent comparison — "page_homes" when the
+	// page-home hash itself moved, else a counter name from the
+	// AppendCounterNames layout (e.g. "cpu3_remote_mem", "kmig_scans").
+	FirstDivergent string `json:"first_divergent,omitempty"`
+	// Observed is the number of timed iterations the detector saw.
+	Observed int `json:"observed,omitempty"`
+	// HomeMoves counts observed iterations whose page-home hash differed
+	// from the previous one — nonzero while a migration campaign runs.
+	HomeMoves int `json:"home_moves,omitempty"`
+	// PerturbIter echoes Config.PerturbAt for reason "perturbed".
+	PerturbIter int `json:"perturb_iter,omitempty"`
+}
+
+// String renders the diagnosis as one human-readable sentence — the
+// replacement for the ad-hoc explanation cmd/nasbench used to assemble.
+func (w *WhyNot) String() string {
+	if w == nil {
+		return ""
+	}
+	switch w.Reason {
+	case WhyNotSampler:
+		return "metrics sampler attached: every iteration must be simulated to be sampled"
+	case WhyNotDetectionOnly:
+		return fmt.Sprintf("steady orbit proven (period %d) but extrapolation not requested", maxInt(w.BestPeriod, 1))
+	case WhyNotNoTail:
+		return fmt.Sprintf("steady orbit proven (period %d) on the final iteration: no tail left to fast-forward", maxInt(w.BestPeriod, 1))
+	case WhyNotLoopTooShort:
+		return fmt.Sprintf("timed loop too short: %d iterations observed, a period-1 orbit needs %d", w.Observed, w.NeededStreak+2)
+	case WhyNotPerturbed:
+		return fmt.Sprintf("scheduler perturbation at iteration %d broke the orbit and it never re-closed (best candidate: period %d, streak %d/%d)",
+			w.PerturbIter, w.BestPeriod, w.BestStreak, w.NeededStreak)
+	case WhyNotPeriodBeyondCap:
+		return fmt.Sprintf("reference string repeats with period %d, beyond the detector's cap: simulated in full by design", w.BestPeriod)
+	case WhyNotHomesMoving:
+		return fmt.Sprintf("page-home map kept moving (%d of %d iterations): an ongoing migration campaign the analytic drain could not prove deterministic",
+			w.HomeMoves, w.Observed)
+	case WhyNotAperiodic:
+		return fmt.Sprintf("counter deltas never repeated: %s diverged on the best candidate (period %d, streak %d/%d)",
+			w.FirstDivergent, w.BestPeriod, w.BestStreak, w.NeededStreak)
+	}
+	return string(w.Reason)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// HostStages splits one run's host wall-clock cost by stage. A run
+// fills the stages it executes when Config.HostStages points here; the
+// remaining fields stay zero (a store-recalled cell, for instance, only
+// ever charges StoreProbe — in exp's accounting, not this struct's).
+// Timing is pure observation: no time.Now call is made unless the sink
+// is attached, and nothing simulated reads the values, so armed and
+// unarmed runs are bit-identical in every virtual quantity.
+type HostStages struct {
+	// StoreProbe: looking the cell up in the on-disk result store
+	// (charged by exp.Cache, not by the run itself).
+	StoreProbe time.Duration `json:"store_probe,omitempty"`
+	// Prefix: the engine-independent cold start (machine build, init
+	// touch, cold iteration, reset) — or, for a forked cell, the wait
+	// for the shared prefix snapshot.
+	Prefix time.Duration `json:"prefix,omitempty"`
+	// Fork: cloning the prefix snapshot and rebuilding the kernel on it.
+	Fork time.Duration `json:"fork,omitempty"`
+	// TimedLoop: the simulated iterations of the timed main loop.
+	TimedLoop time.Duration `json:"timed_loop,omitempty"`
+	// Extrapolate: applying the proven cycle deltas analytically.
+	Extrapolate time.Duration `json:"extrapolate,omitempty"`
+	// FreeRunTail: re-executing remaining steps in free-run mode for the
+	// numerics (the extrapolation tail and analytic campaign drains).
+	FreeRunTail time.Duration `json:"free_run_tail,omitempty"`
+	// Verify: the numerical check.
+	Verify time.Duration `json:"verify,omitempty"`
+}
+
+// Sum returns the total host time attributed to named stages.
+func (h *HostStages) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return h.StoreProbe + h.Prefix + h.Fork + h.TimedLoop + h.Extrapolate + h.FreeRunTail + h.Verify
+}

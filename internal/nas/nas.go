@@ -8,6 +8,7 @@ package nas
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"upmgo/internal/kmig"
 	"upmgo/internal/machine"
@@ -299,6 +300,15 @@ type Config struct {
 	// Attach one cache per sweep. Results are bit-identical with or
 	// without it, so it does not partition the fingerprint space.
 	TailCache *VerifyCache `json:"-"`
+	// HostStages, when non-nil, receives the run's host wall-clock cost
+	// split by stage (prefix, fork, timed loop, extrapolation, free-run
+	// tail, verification). Pure observation of the host clock: nothing
+	// simulated reads it, no virtual time is charged, and without a sink
+	// not even time.Now is called, so armed and unarmed runs are
+	// bit-identical in every virtual quantity. Like TailCache it never
+	// partitions the fingerprint space — it is simply absent from the
+	// fingerprint encoding.
+	HostStages *HostStages `json:"-"`
 	// Topo selects the machine's shape: a topology.ParseShape string or
 	// preset ("4x2x8", "hier64", "cube:2x2x2"). It overrides the class
 	// default machine's node/CPU counts and, for shapes with per-level
@@ -558,6 +568,15 @@ type Result struct {
 	// contracts hold exactly as in a fully simulated run.
 	CampaignAt    int `json:"campaign_at,omitempty"`
 	CampaignIters int `json:"campaign_iters,omitempty"`
+
+	// FastPath reports which host-time accelerations engaged and, when
+	// the steady-state machinery was armed but declined, the typed
+	// WhyNot diagnosis. Host-side metadata: excluded from the JSON form,
+	// so store records and job-API payloads are byte-identical with or
+	// without it, and zeroed by the bit-identity comparisons the
+	// steady/campaign/elide tests run (it describes the host's path, not
+	// the simulated physics).
+	FastPath FastPath `json:"-"`
 }
 
 // Seconds returns the main-loop virtual time in seconds.
@@ -583,9 +602,16 @@ func (r Result) String() string {
 // simulate them once per (class, placement, threads, seed, scale) tuple
 // and fork machine clones for the engine variants.
 func Run(build Builder, cfg Config) (Result, error) {
+	var t0 time.Time
+	if cfg.HostStages != nil {
+		t0 = time.Now()
+	}
 	m, k, team, err := runPrefix(build, cfg)
 	if err != nil {
 		return Result{}, err
+	}
+	if cfg.HostStages != nil {
+		cfg.HostStages.Prefix += time.Since(t0)
 	}
 	return runMain(m, k, team, cfg)
 }
@@ -738,6 +764,15 @@ func runMain(m *machine.Machine, k Kernel, team *omp.Team, cfg Config) (Result, 
 	nkey := numericKey(k.Name(), cfg, niter, len(team.Binding()))
 	var tailVerdict verdict
 	haveTail := false
+	// Host-stage accounting: accumulated locally and folded into the
+	// sink after the loop, so TimedLoop is the loop's wall time minus
+	// the analytic and free-run spans it contains.
+	hs := cfg.HostStages
+	var loopStart time.Time
+	var extraHost, freeHost time.Duration
+	if hs != nil {
+		loopStart = time.Now()
+	}
 	for step := 1; step <= niter; step++ {
 		iterStart := master.Now()
 		if trc != nil {
@@ -834,11 +869,18 @@ func runMain(m *machine.Machine, k Kernel, team *omp.Team, cfg Config) (Result, 
 					// Free-run the drained steps so the numerics stay on
 					// the exact trajectory (compute provably never reads
 					// what the campaign moved, but Verify needs the values).
+					var t0 time.Time
+					if hs != nil {
+						t0 = time.Now()
+					}
 					m.SetFreeRun(true)
 					for fs := 0; fs < plan.V; fs++ {
 						k.Step(team, &Hooks{})
 					}
 					m.SetFreeRun(false)
+					if hs != nil {
+						freeHost += time.Since(t0)
+					}
 					step += plan.V
 					det = newSteadyDetector(m, eng, u, cfg.SteadyWindow, cfg.PeriodK, cfg.KernelMig)
 				}
@@ -860,6 +902,10 @@ func runMain(m *machine.Machine, k Kernel, team *omp.Team, cfg Config) (Result, 
 				det = nil
 				continue
 			}
+			var t0 time.Time
+			if hs != nil {
+				t0 = time.Now()
+			}
 			det.fastForward(r)
 			res.ExtrapolatedIters += int(r)
 			period := det.period()
@@ -869,6 +915,9 @@ func runMain(m *machine.Machine, k Kernel, team *omp.Team, cfg Config) (Result, 
 				res.IterPS = append(res.IterPS, dIter)
 				res.PhasePS = append(res.PhasePS, dPhase)
 				addedIter += dIter
+			}
+			if hs != nil {
+				extraHost += time.Since(t0)
 			}
 			if trc != nil {
 				// Stamped with the post-jump clock; Summarize treats it as
@@ -895,15 +944,26 @@ func runMain(m *machine.Machine, k Kernel, team *omp.Team, cfg Config) (Result, 
 			// the true final numerics. Engine calls are skipped (empty
 			// hooks, no MigrateMemory) — on the proven period-one orbit
 			// they only move time and page homes, never kernel values.
+			if hs != nil {
+				t0 = time.Now()
+			}
 			m.SetFreeRun(true)
 			for fs := step + 1; fs <= niter; fs++ {
 				k.Step(team, &Hooks{})
 			}
 			m.SetFreeRun(false)
+			if hs != nil {
+				freeHost += time.Since(t0)
+			}
 			break
 		}
 	}
 	res.TotalPS = master.Now() - start
+	if hs != nil {
+		hs.TimedLoop += time.Since(loopStart) - extraHost - freeHost
+		hs.Extrapolate += extraHost
+		hs.FreeRunTail += freeHost
+	}
 
 	if u != nil {
 		res.UPM = u.Stats()
@@ -915,6 +975,10 @@ func runMain(m *machine.Machine, k Kernel, team *omp.Team, cfg Config) (Result, 
 		res.PagesTotal += int(r[1] - r[0])
 	}
 	if !cfg.SkipVerify {
+		var t0 time.Time
+		if hs != nil {
+			t0 = time.Now()
+		}
 		if haveTail {
 			res.Verified, res.VerifyErr = tailVerdict.verified, tailVerdict.err
 		} else {
@@ -924,8 +988,47 @@ func runMain(m *machine.Machine, k Kernel, team *omp.Team, cfg Config) (Result, 
 				cfg.TailCache.put(nkey, verdict{res.Verified, res.VerifyErr})
 			}
 		}
+		if hs != nil {
+			hs.Verify += time.Since(t0)
+		}
+	}
+	res.FastPath = FastPath{
+		SteadyDetected: res.SteadyAt > 0,
+		Extrapolated:   res.ExtrapolatedIters > 0,
+		CampaignFF:     res.CampaignIters > 0,
+		ResidentElide:  cfg.ResidentElide,
+		TailCacheHit:   haveTail,
+	}
+	if cfg.SteadyState && res.ExtrapolatedIters == 0 && res.CampaignIters == 0 {
+		res.FastPath.WhyNot = runWhyNot(cfg, det, res)
 	}
 	return res, nil
+}
+
+// runWhyNot builds the typed diagnosis for a run whose steady-state
+// machinery was armed but never fast-forwarded anything: the sampler
+// veto, the proven-but-declined cases, or — when detection itself never
+// fired — the detector's own evidence of what broke the orbit.
+func runWhyNot(cfg Config, det *steadyDetector, res Result) *WhyNot {
+	switch {
+	case cfg.Metrics != nil:
+		return &WhyNot{Reason: WhyNotSampler}
+	case res.SteadyAt > 0:
+		p := res.SteadyPeriod
+		if p == 0 {
+			p = 1
+		}
+		w := &WhyNot{BestPeriod: p, Observed: res.SteadyAt}
+		if cfg.Extrapolate {
+			w.Reason = WhyNotNoTail
+		} else {
+			w.Reason = WhyNotDetectionOnly
+		}
+		return w
+	case det != nil:
+		return det.diagnose(cfg.PerturbAt)
+	}
+	return nil
 }
 
 // stepHooks builds the record–replay hooks of the paper's Figure 3 for

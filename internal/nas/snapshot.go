@@ -2,6 +2,7 @@ package nas
 
 import (
 	"fmt"
+	"time"
 
 	"upmgo/internal/machine"
 	"upmgo/internal/omp"
@@ -64,6 +65,10 @@ func (p *Prefix) RunFromSnapshot(cfg Config) (Result, error) {
 	if key != p.key {
 		return Result{}, fmt.Errorf("nas: config prefix %q does not match snapshot prefix %q", key, p.key)
 	}
+	var t0 time.Time
+	if cfg.HostStages != nil {
+		t0 = time.Now()
+	}
 	m := p.snap.Clone()
 	// Rebuild the kernel on the clone: the builder re-runs the exact
 	// allocation sequence of the prefix on the rewound heap, giving every
@@ -91,6 +96,9 @@ func (p *Prefix) RunFromSnapshot(cfg Config) (Result, error) {
 	team, err := omp.NewTeam(m, threads)
 	if err != nil {
 		return Result{}, err
+	}
+	if cfg.HostStages != nil {
+		cfg.HostStages.Fork += time.Since(t0)
 	}
 	return runMain(m, k, team, cfg)
 }

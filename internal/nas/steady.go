@@ -63,11 +63,33 @@ const steadyPeriodMax = 8
 // without building a machine.
 type periodTracker struct {
 	kmax, window int
-	ring         [][]int64 // last kmax delta vectors, slot = index % kmax
-	hashes       []uint64  // state hash observed with each ring entry
-	n            int       // observations pushed so far
-	matches      []int     // matches[k-1]: consecutive successful lag-k compares
-	period       int       // proven period, set when push returns true
+	// diagKmax extends the ring and match bookkeeping one period past
+	// the larger of kmax and the global cap, for diagnosis only: a
+	// period-9 adversary (or a period-2 orbit under PeriodK 1) then
+	// shows up as a candidate that *did* prove itself beyond the cap.
+	// The firing loop never consults k > kmax, and a ring larger than
+	// kmax holds every lag ≤ kmax entry at the same slot age, so
+	// detection behaviour — and Result.SteadyAt — is bit-identical to
+	// the exact-size ring.
+	diagKmax int
+	ring     [][]int64 // last diagKmax delta vectors, slot = index % diagKmax
+	hashes   []uint64  // state hash observed with each ring entry
+	n        int       // observations pushed so far
+	matches  []int     // matches[k-1]: consecutive successful lag-k compares
+	period   int       // proven period, set when push returns true
+
+	// Diagnostic state (never read by the firing rule).
+	maxMatches []int      // longest streak ever seen per candidate k
+	lastFail   []failInfo // why the most recent lag-k compare failed
+	homeMoves  int        // pushes whose state hash differed from the previous
+	lastHash   uint64
+}
+
+// failInfo records why one lag-k comparison failed: the state hash moved
+// (hash true), or delta element idx was the first to diverge.
+type failInfo struct {
+	hash bool
+	idx  int
 }
 
 func newPeriodTracker(kmax, window int) *periodTracker {
@@ -77,12 +99,20 @@ func newPeriodTracker(kmax, window int) *periodTracker {
 	if window < 2 {
 		window = 2
 	}
+	diag := steadyPeriodMax
+	if kmax > diag {
+		diag = kmax
+	}
+	diag++
 	return &periodTracker{
-		kmax:    kmax,
-		window:  window,
-		ring:    make([][]int64, kmax),
-		hashes:  make([]uint64, kmax),
-		matches: make([]int, kmax),
+		kmax:       kmax,
+		window:     window,
+		diagKmax:   diag,
+		ring:       make([][]int64, diag),
+		hashes:     make([]uint64, diag),
+		matches:    make([]int, diag),
+		maxMatches: make([]int, diag),
+		lastFail:   make([]failInfo, diag),
 	}
 }
 
@@ -94,15 +124,29 @@ func newPeriodTracker(kmax, window int) *periodTracker {
 // deltas, exactly the original period-one detector's streak ≥ window.
 func (t *periodTracker) push(delta []int64, hash uint64) bool {
 	j := t.n + 1
-	for k := 1; k <= t.kmax && k < j; k++ {
-		s := (j - k) % t.kmax
-		if hash == t.hashes[s] && int64sEqual(delta, t.ring[s]) {
-			t.matches[k-1]++
-		} else {
+	if j > 1 && hash != t.lastHash {
+		t.homeMoves++
+	}
+	t.lastHash = hash
+	// Compare out to diagKmax so candidates beyond the cap accumulate
+	// diagnostic streaks; only k ≤ kmax may fire below.
+	for k := 1; k <= t.diagKmax && k < j; k++ {
+		s := (j - k) % t.diagKmax
+		switch {
+		case hash != t.hashes[s]:
+			t.lastFail[k-1] = failInfo{hash: true, idx: -1}
 			t.matches[k-1] = 0
+		case !int64sEqual(delta, t.ring[s]):
+			t.lastFail[k-1] = failInfo{idx: firstDiff(delta, t.ring[s])}
+			t.matches[k-1] = 0
+		default:
+			t.matches[k-1]++
+			if t.matches[k-1] > t.maxMatches[k-1] {
+				t.maxMatches[k-1] = t.matches[k-1]
+			}
 		}
 	}
-	s := j % t.kmax
+	s := j % t.diagKmax
 	t.ring[s] = append(t.ring[s][:0], delta...)
 	t.hashes[s] = hash
 	t.n = j
@@ -115,12 +159,67 @@ func (t *periodTracker) push(delta []int64, hash uint64) bool {
 	return false
 }
 
+// trackerDiag summarises a tracker that never fired: the candidate
+// period that came closest (or proved itself beyond the cap), its best
+// streak against the firing requirement, why its latest comparison
+// failed, and how often the state hash moved.
+type trackerDiag struct {
+	observed   int // deltas pushed
+	bestPeriod int
+	bestStreak int
+	needed     int
+	fail       failInfo
+	beyondCap  bool
+	homeMoves  int
+}
+
+// diagnose picks the best candidate orbit. A candidate beyond the
+// firing cap that reproduced at least two full cycles (streak ≥ 2k)
+// wins outright — the loop is periodic, just longer than the detector
+// may prove, which is the adversarial-fallback evidence the firing rule
+// itself might never accumulate under a large window. Otherwise the
+// candidate with the highest streak-to-requirement ratio is reported
+// together with its most recent failure.
+func (t *periodTracker) diagnose() trackerDiag {
+	d := trackerDiag{observed: t.n, homeMoves: t.homeMoves, fail: failInfo{idx: -1}}
+	best := -1.0
+	for k := 1; k <= t.diagKmax; k++ {
+		need := (t.window - 1) * k
+		streak := t.maxMatches[k-1]
+		if k > t.kmax && streak >= 2*k {
+			return trackerDiag{observed: t.n, homeMoves: t.homeMoves,
+				bestPeriod: k, bestStreak: streak, needed: need,
+				beyondCap: true, fail: failInfo{idx: -1}}
+		}
+		if prog := float64(streak) / float64(need); prog > best {
+			best = prog
+			d.bestPeriod, d.bestStreak, d.needed = k, streak, need
+			d.fail = t.lastFail[k-1]
+		}
+	}
+	return d
+}
+
+// firstDiff returns the first index where a and b differ, or -1 when
+// equal. Lengths match by construction (one snapshot layout per run).
+func firstDiff(a, b []int64) int {
+	for i, v := range a {
+		if i >= len(b) || v != b[i] {
+			return i
+		}
+	}
+	if len(b) > len(a) {
+		return len(a)
+	}
+	return -1
+}
+
 // cycleDelta returns the proven cycle's delta at position p (0 ≤ p <
 // period) in chronological order: position 0 is the delta the iteration
 // after detection will reproduce. Valid only after push returned true.
 func (t *periodTracker) cycleDelta(p int) []int64 {
 	k := t.period
-	return t.ring[(t.n-k+1+p)%t.kmax]
+	return t.ring[(t.n-k+1+p)%t.diagKmax]
 }
 
 // steadyDetector accumulates one counter snapshot per timed iteration and
@@ -144,6 +243,7 @@ type steadyDetector struct {
 	trk              *periodTracker
 	prev, cur, delta []int64
 	havePrev         bool
+	observed         int // timed iterations observed (snapshots taken)
 }
 
 // newSteadyDetector builds a detector with the given confirmation window
@@ -186,6 +286,7 @@ func (d *steadyDetector) snapshot(dst []int64) []int64 {
 // delta: counters advance, the home map must cycle through the same k
 // states.
 func (d *steadyDetector) observe(iterPS, phasePS int64) bool {
+	d.observed++
 	d.cumIter += iterPS
 	d.cumPhase += phasePS
 	d.cur = d.snapshot(d.cur[:0])
@@ -222,7 +323,7 @@ func (d *steadyDetector) lastDelta() []int64 {
 	if d.trk.n == 0 {
 		return nil
 	}
-	return d.trk.ring[d.trk.n%d.trk.kmax]
+	return d.trk.ring[d.trk.n%d.trk.diagKmax]
 }
 
 // cycleIterPhase returns the proven per-iteration and per-phase durations
@@ -268,6 +369,60 @@ func (d *steadyDetector) applyDelta(dd []int64, mult int64) {
 	}
 	d.cumIter += dd[off] * mult
 	d.cumPhase += dd[off+1] * mult
+}
+
+// counterName maps a delta-vector index to the name of the counter at
+// that position, following the snapshot layout exactly: machine, kernel
+// engine, UPMlib (when present), then the iteration/phase
+// pseudo-counters. Out-of-range indices (and the hash pseudo-position
+// −1) name the page-home map itself.
+func (d *steadyDetector) counterName(idx int) string {
+	if idx < 0 {
+		return "page_homes"
+	}
+	names := d.m.AppendCounterNames(nil)
+	names = d.eng.AppendCounterNames(names)
+	if d.u != nil {
+		names = d.u.AppendCounterNames(names)
+	}
+	names = append(names, "iter_ps", "phase_ps")
+	if idx >= len(names) {
+		return "page_homes"
+	}
+	return names[idx]
+}
+
+// diagnose explains why the detector never fired, as a typed WhyNot.
+// Called only on a detector whose observe never returned true.
+func (d *steadyDetector) diagnose(perturbAt int) *WhyNot {
+	g := d.trk.diagnose()
+	w := &WhyNot{
+		Observed:     d.observed,
+		BestPeriod:   g.bestPeriod,
+		BestStreak:   g.bestStreak,
+		NeededStreak: g.needed,
+		HomeMoves:    g.homeMoves,
+	}
+	switch {
+	case g.beyondCap:
+		// The orbit proved itself at a period the cap excludes: the
+		// adversarial fallback, or an explicit PeriodK restriction.
+		w.Reason = WhyNotPeriodBeyondCap
+	case perturbAt > 0:
+		w.Reason = WhyNotPerturbed
+		w.PerturbIter = perturbAt
+	case d.observed < d.window+1:
+		// Even a perfectly period-one loop needs window+1 observations
+		// (window deltas) before the streak can reach window−1.
+		w.Reason = WhyNotLoopTooShort
+	case g.fail.hash:
+		w.Reason = WhyNotHomesMoving
+		w.FirstDivergent = "page_homes"
+	default:
+		w.Reason = WhyNotAperiodic
+		w.FirstDivergent = d.counterName(g.fail.idx)
+	}
+	return w
 }
 
 func int64sEqual(a, b []int64) bool {

@@ -16,14 +16,16 @@ import (
 )
 
 // maskSteady zeroes the detection-metadata fields extrapolation is
-// allowed to set; every other Result field must be bit-identical between
-// an extrapolated and a fully simulated run.
+// allowed to set, plus the host-side FastPath report (which records the
+// run's host path, not its physics); every other Result field must be
+// bit-identical between an extrapolated and a fully simulated run.
 func maskSteady(r nas.Result) nas.Result {
 	r.SteadyAt = 0
 	r.SteadyPeriod = 0
 	r.ExtrapolatedIters = 0
 	r.CampaignAt = 0
 	r.CampaignIters = 0
+	r.FastPath = nas.FastPath{}
 	return r
 }
 

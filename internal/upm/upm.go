@@ -512,6 +512,14 @@ func (u *UPM) AppendCounters(dst []int64) []int64 {
 		int64(u.cursor), int64(u.lastMigs))
 }
 
+// AppendCounterNames appends one name per AppendCounters slot, in the
+// same order, for by-name reporting of delta-vector indices.
+func (u *UPM) AppendCounterNames(dst []string) []string {
+	return append(dst, "upm_invocations", "upm_migrations", "upm_first_invocation",
+		"upm_frozen", "upm_replay_migrations", "upm_undo_migrations",
+		"upm_replications", "upm_overhead_ps", "upm_cursor", "upm_last_migs")
+}
+
 // ApplyCounterDelta advances the statistics by k repetitions of a
 // per-iteration delta (laid out as AppendCounters), extrapolating k more
 // identical iterations. Cursor and lastMigs receive their deltas too,

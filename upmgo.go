@@ -412,6 +412,89 @@ func PublishSweepEvent(reg *MetricsRegistry, cache *SweepCache, ev SweepEvent) {
 	exp.PublishSweepEvent(reg, cache, ev)
 }
 
+// Host-side run telemetry. Every surface here is observation-only: a
+// run with telemetry armed is bit-identical, in every virtual quantity
+// and store record byte, to the same run without it.
+type (
+	// NASFastPath reports which acceleration fast paths a run engaged,
+	// with a typed WhyNot diagnosis when a steady-armed run declined.
+	NASFastPath = nas.FastPath
+	// NASWhyNot explains why a steady-armed run simulated every
+	// iteration (reason enum plus the supporting evidence).
+	NASWhyNot = nas.WhyNot
+	// NASWhyNotReason enumerates the typed refusal reasons.
+	NASWhyNotReason = nas.WhyNotReason
+	// NASHostStages splits one run's host wall-clock cost by stage;
+	// attach via NASConfig.HostStages.
+	NASHostStages = nas.HostStages
+	// CellReport is one sweep cell's host-side telemetry record
+	// (provenance, fast-path kind, stage attribution), carried on
+	// SweepEvent.Report.
+	CellReport = exp.CellReport
+	// CellStageSeconds is a cell's (or sweep's) host time by stage.
+	CellStageSeconds = exp.StageSeconds
+	// FastPathKind classifies how a cell's answer was obtained.
+	FastPathKind = exp.FastPathKind
+	// SweepReport aggregates a sweep's CellReports (`sweep -report`,
+	// `traceview report`).
+	SweepReport = exp.SweepReport
+	// SweepWhyNotCount is one bucket of a SweepReport's why-not histogram.
+	SweepWhyNotCount = exp.WhyNotCount
+)
+
+// The typed reasons a steady-armed run declined its fast-forward.
+const (
+	WhyNotSampler       = nas.WhyNotSampler
+	WhyNotDetectionOnly = nas.WhyNotDetectionOnly
+	WhyNotNoTail        = nas.WhyNotNoTail
+	WhyNotLoopTooShort  = nas.WhyNotLoopTooShort
+	WhyNotPerturbed     = nas.WhyNotPerturbed
+	WhyNotPeriodBeyond  = nas.WhyNotPeriodBeyondCap
+	WhyNotHomesMoving   = nas.WhyNotHomesMoving
+	WhyNotAperiodic     = nas.WhyNotAperiodic
+)
+
+// FastPathKind values, cheapest first.
+const (
+	FastPathRecalled = exp.FastPathRecalled
+	FastPathCampaign = exp.FastPathCampaign
+	FastPathSteadyPK = exp.FastPathSteadyPK
+	FastPathSteadyP1 = exp.FastPathSteadyP1
+	FastPathFullSim  = exp.FastPathFullSim
+)
+
+// FastPathKinds lists the kinds in presentation order.
+var FastPathKinds = exp.FastPathKinds
+
+// Cell provenance values (CellReport.Source).
+const (
+	CellSourceMemory    = exp.SourceMemory
+	CellSourceStore     = exp.SourceStore
+	CellSourceSimulated = exp.SourceSimulated
+)
+
+// BuildSweepReport aggregates the CellReports collected from a sweep's
+// events into a SweepReport, keeping the topN slowest cells (0 = 5).
+func BuildSweepReport(reports []*CellReport, topN int) SweepReport {
+	return exp.BuildSweepReport(reports, topN)
+}
+
+// PublishBuildInfo sets the upmgo_build_info gauge on reg: constant 1,
+// with the Go runtime version and the simulator's code/schema versions
+// in the labels. Both cmd/sweep's -metrics-addr endpoint and
+// cmd/sweepd's /metrics publish it.
+func PublishBuildInfo(reg *MetricsRegistry) {
+	metrics.PublishBuildInfo(reg, store.CodeVersion, store.SchemaVersion)
+}
+
+// Histogram family names shared by the daemons' /metrics endpoints.
+const (
+	MetricCellSeconds     = metrics.CellSecondsName
+	MetricJobQueueSeconds = metrics.JobQueueSecondsName
+	MetricJobRunSeconds   = metrics.JobRunSecondsName
+	MetricHTTPSeconds     = metrics.HTTPSecondsName
+)
+
 // Content-addressed on-disk result store — the persistent second level
 // under a SweepCache (attach with SweepCache.SetStore) and the data
 // plane of cmd/sweepd's GET /v1/cells. Records are keyed by the cell's
